@@ -1,0 +1,137 @@
+// Ablations for the design decisions DESIGN.md calls out, beyond the
+// paper's own figures. One dataset (first selected), batch 16, TopK 16:
+//
+//   A. TopK merge placement: GPU divide-and-conquer (CAGRA) vs host
+//      offload (§IV-B's GPU-CPU cooperation), same static engine.
+//   B. Beam width sweep {1,2,4,8} at fixed offset_beam.
+//   C. offset_beam sweep {4,24,64,128}: when the diffusing phase starts.
+//   D. N_parallel sweep {1,2,4,8}: CTAs per query under dynamic batching.
+#include <iostream>
+
+#include "baselines/static_engine.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+
+using namespace algas;
+
+int main() {
+  bench::print_header("ablation_design",
+                      "design ablations: merge placement, beam width, "
+                      "offset_beam, N_parallel");
+
+  const std::string name = bench::selected_datasets().front();
+  const Dataset& ds = bench::dataset(name);
+  const Graph& g = bench::graph(name, GraphKind::kCagra);
+  const std::size_t nq = bench::query_budget(ds, 200);
+  metrics::print_meta(std::cout, "dataset", ds.describe());
+
+  constexpr std::size_t kBatch = 16;
+  constexpr std::size_t kList = 128;
+
+  std::cout << "\n# A. merge placement (static multi-CTA engine)\n"
+               "# note: under a batch barrier, host offload trades the\n"
+               "# per-query GPU merge for a bulk candidate-list transfer and\n"
+               "# serial host merging, so the two are close here. The offload\n"
+               "# pays off in ALGAS's dynamic batching, where per-slot host\n"
+               "# merges overlap with other slots' GPU search and never\n"
+               "# interrupt the persistent kernel (SIV-B) - compare the\n"
+               "# ALGAS rows of fig10/11 against CAGRA.\n";
+  {
+    metrics::TsvTable t({"merge", "recall", "mean_latency_us",
+                         "throughput_qps"});
+    for (auto mode : {baselines::MergeMode::kGpuDivideConquer,
+                      baselines::MergeMode::kHost}) {
+      baselines::StaticConfig cfg;
+      cfg.search.candidate_len = kList;
+      cfg.batch_size = kBatch;
+      cfg.n_parallel = 4;
+      cfg.merge = mode;
+      baselines::StaticBatchEngine engine(ds, g, cfg);
+      const auto rep = engine.run_closed_loop(nq);
+      t.row()
+          .cell(std::string(mode == baselines::MergeMode::kHost
+                                ? "host-offload"
+                                : "gpu-divide-conquer"))
+          .cell(rep.recall, 4)
+          .cell(rep.summary.mean_service_us, 1)
+          .cell(rep.summary.throughput_qps, 0);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n# B. beam width (offset_beam=24)\n";
+  {
+    metrics::TsvTable t({"beam_width", "recall", "mean_latency_us",
+                         "throughput_qps", "sort_fraction"});
+    for (std::size_t beam : {1, 2, 4, 8}) {
+      core::AlgasEngine engine(
+          ds, g, bench::algas_config(kBatch, kList, 16, 4, beam));
+      const auto rep = engine.run_closed_loop(nq);
+      t.row()
+          .cell(beam)
+          .cell(rep.recall, 4)
+          .cell(rep.summary.mean_service_us, 1)
+          .cell(rep.summary.throughput_qps, 0)
+          .cell(rep.summary.sort_fraction, 3);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n# C. offset_beam (beam_width=4)\n";
+  {
+    metrics::TsvTable t({"offset_beam", "recall", "mean_latency_us",
+                         "throughput_qps"});
+    for (std::size_t offset : {4, 24, 64, 128}) {
+      auto cfg = bench::algas_config(kBatch, kList, 16, 4, 4);
+      cfg.search.offset_beam = offset;
+      core::AlgasEngine engine(ds, g, cfg);
+      const auto rep = engine.run_closed_loop(nq);
+      t.row()
+          .cell(offset)
+          .cell(rep.recall, 4)
+          .cell(rep.summary.mean_service_us, 1)
+          .cell(rep.summary.throughput_qps, 0);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n# E. host synchronization (SV-A: polling vs blocking)\n";
+  {
+    metrics::TsvTable t({"host_sync", "mean_latency_us", "throughput_qps",
+                         "state_txns", "interrupts"});
+    for (auto mode : {core::HostSync::kPollNaive,
+                      core::HostSync::kPollMirrored,
+                      core::HostSync::kBlocking}) {
+      auto cfg = bench::algas_config(kBatch, kList);
+      cfg.host_sync = mode;
+      core::AlgasEngine engine(ds, g, cfg);
+      const auto rep = engine.run_closed_loop(nq);
+      t.row()
+          .cell(std::string(core::host_sync_name(mode)))
+          .cell(rep.summary.mean_service_us, 1)
+          .cell(rep.summary.throughput_qps, 0)
+          .cell(rep.pcie_state_transactions)
+          .cell(rep.interrupts);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n# D. N_parallel (CTAs per query)\n";
+  {
+    metrics::TsvTable t({"n_parallel", "recall", "mean_latency_us",
+                         "throughput_qps", "gpu_utilization"});
+    for (std::size_t np : {1, 2, 4, 8}) {
+      core::AlgasEngine engine(ds, g,
+                               bench::algas_config(kBatch, kList, 16, np));
+      const auto rep = engine.run_closed_loop(nq);
+      t.row()
+          .cell(np)
+          .cell(rep.recall, 4)
+          .cell(rep.summary.mean_service_us, 1)
+          .cell(rep.summary.throughput_qps, 0)
+          .cell(rep.gpu_utilization, 3);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/env.hpp"
+#include "dataset/registry.hpp"
+
+namespace algas::bench {
+
+BuildConfig bench_build_config() {
+  BuildConfig cfg;
+  cfg.degree = 32;
+  cfg.ef_construction = 64;
+  return cfg;
+}
+
+std::vector<std::string> selected_datasets() {
+  const std::string raw =
+      env_string("ALGAS_DATASETS", "sift,gist,glove,nytimes");
+  std::vector<std::string> names;
+  std::stringstream ss(raw);
+  std::string item;
+  const auto known = bench_dataset_names();
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    if (std::find(known.begin(), known.end(), item) == known.end()) {
+      throw std::invalid_argument("unknown dataset in ALGAS_DATASETS: " +
+                                  item);
+    }
+    names.push_back(item);
+  }
+  if (names.empty()) names = known;
+  return names;
+}
+
+const Dataset& dataset(const std::string& name) {
+  static std::map<std::string, Dataset> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    std::cerr << "[bench] loading dataset " << name << "...\n";
+    it = cache.emplace(name, load_bench_dataset(name)).first;
+    std::cerr << "[bench] " << it->second.describe() << "\n";
+  }
+  return it->second;
+}
+
+const Graph& graph(const std::string& name, GraphKind kind) {
+  static std::map<std::string, Graph> cache;
+  const std::string key = name + "/" + graph_kind_name(kind);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    std::cerr << "[bench] building/loading graph " << key << "...\n";
+    it = cache
+             .emplace(key, load_or_build_graph(kind, dataset(name),
+                                               bench_build_config()))
+             .first;
+  }
+  return it->second;
+}
+
+std::size_t query_budget(const Dataset& ds, std::size_t fallback) {
+  const std::size_t want = env_size("ALGAS_QUERIES", fallback);
+  return std::min(want, ds.num_queries());
+}
+
+std::vector<core::PendingQuery> closed_loop(std::size_t n) {
+  std::vector<core::PendingQuery> arrivals;
+  arrivals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) arrivals.push_back({i, 0.0});
+  return arrivals;
+}
+
+void print_header(const std::string& bench, const std::string& what) {
+  metrics::print_meta(std::cout, "bench", bench);
+  metrics::print_meta(std::cout, "reproduces", what);
+  metrics::print_meta(std::cout, "scale",
+                      std::to_string(dataset_scale()));
+  metrics::print_meta(std::cout, "note",
+                      "latency/throughput are virtual-time (simulated GPU); "
+                      "recall is a real measurement");
+}
+
+core::AlgasConfig algas_config(std::size_t batch, std::size_t candidate_len,
+                               std::size_t topk, std::size_t n_parallel,
+                               std::size_t beam_width) {
+  core::AlgasConfig cfg;
+  cfg.search.topk = topk;
+  cfg.search.candidate_len = candidate_len;
+  cfg.search.beam_width = beam_width;
+  cfg.search.offset_beam = 24;
+  cfg.slots = batch;
+  cfg.host_threads = batch >= 32 ? 2 : 1;
+  cfg.n_parallel = n_parallel;
+  cfg.host_sync = core::HostSync::kPollMirrored;
+  return cfg;
+}
+
+std::string us(double v) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  out << v;
+  return out.str();
+}
+
+}  // namespace algas::bench

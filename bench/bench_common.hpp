@@ -1,0 +1,56 @@
+// Shared harness support for the per-figure bench binaries.
+//
+// Every bench prints TSV to stdout: "#"-prefixed metadata lines, then a
+// header row, then one row per plotted point. Environment knobs:
+//   ALGAS_SCALE     dataset size multiplier (default 1.0)
+//   ALGAS_QUERIES   queries per configuration (default: bench-specific)
+//   ALGAS_DATASETS  comma list (default "sift,gist,glove,nytimes")
+//   ALGAS_CACHE_DIR dataset/graph cache (default ./algas_cache)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dataset/dataset.hpp"
+#include "graph/builder.hpp"
+#include "metrics/table.hpp"
+
+namespace algas::bench {
+
+/// Graph build parameters every bench shares (so disk caches are reused).
+BuildConfig bench_build_config();
+
+/// Dataset names selected via ALGAS_DATASETS (validated).
+std::vector<std::string> selected_datasets();
+
+/// Load (cache-backed) the named bench dataset; kept in-process.
+const Dataset& dataset(const std::string& name);
+
+/// Load or build (cache-backed) a graph for the named dataset.
+const Graph& graph(const std::string& name, GraphKind kind);
+
+/// min(ALGAS_QUERIES override, dataset queries, fallback).
+std::size_t query_budget(const Dataset& ds, std::size_t fallback);
+
+/// n queries all arriving at t=0 (closed loop).
+std::vector<core::PendingQuery> closed_loop(std::size_t n);
+
+/// Standard metadata header: bench name, dataset line, scale.
+void print_header(const std::string& bench, const std::string& what);
+
+/// Standard engine configurations used across the comparison benches so
+/// every figure compares identical search work. n_parallel defaults to 4
+/// CTAs per query (the small-batch sweet spot); beam extend is on for
+/// ALGAS (width 4, offset 24) and off for the baselines, as in the paper.
+core::AlgasConfig algas_config(std::size_t batch, std::size_t candidate_len,
+                               std::size_t topk = 16,
+                               std::size_t n_parallel = 4,
+                               std::size_t beam_width = 4);
+
+
+/// Format helper: microseconds with 1 decimal.
+std::string us(double v);
+
+}  // namespace algas::bench

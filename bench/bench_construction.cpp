@@ -1,0 +1,62 @@
+// Graph construction study (substrate for the paper's "NSW-GANNS graph"):
+// GANNS-style batched GPU construction vs one-CTA serial construction, per
+// dataset — build time (virtual), speedup, batches, and the quality of the
+// resulting index (recall at a fixed search setting).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dataset/registry.hpp"
+#include "graph/gpu_construction.hpp"
+#include "metrics/recall.hpp"
+#include "search/multi_cta.hpp"
+
+using namespace algas;
+
+int main() {
+  bench::print_header("construction",
+                      "GANNS-style batched GPU construction vs serial");
+
+  metrics::TsvTable table({"dataset", "insert_batch", "batches",
+                           "gpu_build_ms", "serial_build_ms", "speedup",
+                           "recall_at_64"});
+
+  const sim::CostModel cm;
+  for (const auto& name : bench::selected_datasets()) {
+    // Construction is rebuilt per configuration (no cache), so cap the
+    // corpus at 20k points to keep the sweep tractable.
+    const Dataset ds =
+        load_bench_dataset_sized(name, 20000, 100, 32, /*use_cache=*/true);
+    const std::size_t nq = std::min<std::size_t>(100, ds.num_queries());
+
+    for (std::size_t batch : {512, 4096}) {
+      GpuBuildConfig cfg;
+      cfg.base = bench::bench_build_config();
+      cfg.insert_batch = batch;
+      const auto result = gpu_build_nsw(ds, cfg);
+
+      search::SearchConfig scfg;
+      scfg.topk = 16;
+      scfg.candidate_len = 64;
+      double recall = 0.0;
+      for (std::size_t q = 0; q < nq; ++q) {
+        const auto r = search::multi_cta_search(ds, result.graph, cm, scfg,
+                                                4, ds.query(q), q, 1);
+        recall += metrics::recall_at_k(ds, q, r.topk, 16);
+      }
+
+      table.row()
+          .cell(name)
+          .cell(batch)
+          .cell(result.batches)
+          .cell(result.virtual_build_ns / 1e6, 2)
+          .cell(result.serial_build_ns / 1e6, 2)
+          .cell(result.speedup(), 1)
+          .cell(recall / static_cast<double>(nq), 4);
+    }
+  }
+
+  std::cout << "# expected: speedup near the device's concurrent-CTA "
+               "capacity; quality flat across batch sizes\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig 12 — average latency vs TopK (the red numbers in the paper are the
+// recall at each point). ALGAS vs CAGRA, batch 16, candidate list scaled
+// with TopK so recall stays in the high regime.
+#include <algorithm>
+#include <iostream>
+
+#include "baselines/static_engine.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+
+using namespace algas;
+
+int main() {
+  bench::print_header("fig12_topk", "Fig 12: latency vs TopK (recall labels)");
+
+  metrics::TsvTable table({"dataset", "topk", "method", "recall",
+                           "mean_latency_us", "throughput_qps"});
+
+  constexpr std::size_t kBatch = 16;
+  for (const auto& name : bench::selected_datasets()) {
+    const Dataset& ds = bench::dataset(name);
+    const Graph& g = bench::graph(name, GraphKind::kCagra);
+    const std::size_t nq = bench::query_budget(ds, 200);
+
+    for (std::size_t topk : {8, 16, 32, 64}) {
+      const std::size_t L = std::max<std::size_t>(128, 2 * topk);
+      {
+        core::AlgasEngine engine(ds, g,
+                                 bench::algas_config(kBatch, L, topk));
+        const auto rep = engine.run_closed_loop(nq);
+        table.row()
+            .cell(name)
+            .cell(topk)
+            .cell(std::string("ALGAS"))
+            .cell(rep.recall, 4)
+            .cell(rep.summary.mean_service_us, 1)
+            .cell(rep.summary.throughput_qps, 0);
+      }
+      {
+        baselines::StaticConfig cfg;
+        cfg.search.topk = topk;
+        cfg.search.candidate_len = L;
+        cfg.batch_size = kBatch;
+        cfg.n_parallel = 4;
+        baselines::StaticBatchEngine engine(ds, g, cfg);
+        const auto rep = engine.run_closed_loop(nq);
+        table.row()
+            .cell(name)
+            .cell(topk)
+            .cell(std::string("CAGRA"))
+            .cell(rep.recall, 4)
+            .cell(rep.summary.mean_service_us, 1)
+            .cell(rep.summary.throughput_qps, 0);
+      }
+    }
+  }
+
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig 16 — beam extend vs greedy extend with 8 CTAs in parallel:
+// throughput-recall curves per dataset. Beam extend wins at high recall
+// (large candidate lists) where the diffusing phase dominates.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+
+using namespace algas;
+
+int main() {
+  bench::print_header("fig16_beam_extend",
+                      "Fig 16: beam vs greedy extend, 8 CTAs");
+
+  metrics::TsvTable table({"dataset", "mode", "candidate_len", "recall",
+                           "mean_latency_us", "throughput_qps"});
+
+  constexpr std::size_t kBatch = 16;
+  constexpr std::size_t kCtas = 8;  // the paper's Fig 16 setting
+
+  for (const auto& name : bench::selected_datasets()) {
+    const Dataset& ds = bench::dataset(name);
+    const Graph& g = bench::graph(name, GraphKind::kCagra);
+    const std::size_t nq = bench::query_budget(ds, 200);
+
+    for (std::size_t L : {128, 256, 512}) {
+      for (bool beam : {false, true}) {
+        auto cfg = bench::algas_config(kBatch, L, 16, kCtas,
+                                       beam ? 4 : 1);
+        core::AlgasEngine engine(ds, g, cfg);
+        const auto rep = engine.run_closed_loop(nq);
+        table.row()
+            .cell(name)
+            .cell(std::string(beam ? "BeamExtend" : "GreedyExtend"))
+            .cell(L)
+            .cell(rep.recall, 4)
+            .cell(rep.summary.mean_service_us, 1)
+            .cell(rep.summary.throughput_qps, 0);
+      }
+    }
+  }
+
+  std::cout << "# expected: beam extend wins at high recall (large L)\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig 7 — distance of the selected candidate vs search step: sharp descent
+// in the early (localization) phase, convergence in the late (diffusing)
+// phase. Distances are normalized per query (d_step / d_entry) and averaged
+// across queries at each step index.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "search/greedy.hpp"
+
+using namespace algas;
+
+int main() {
+  bench::print_header("fig7_distance_curve",
+                      "Fig 7: selected-candidate distance vs step");
+
+  metrics::TsvTable table(
+      {"dataset", "step", "norm_distance_mean", "queries_alive"});
+
+  const sim::CostModel cm;
+  for (const auto& name : bench::selected_datasets()) {
+    const Dataset& ds = bench::dataset(name);
+    const Graph& g = bench::graph(name, GraphKind::kNsw);
+    const std::size_t nq = bench::query_budget(ds, 200);
+
+    search::SearchConfig cfg;
+    cfg.topk = 16;
+    cfg.candidate_len = 128;
+
+    std::vector<double> sums;
+    std::vector<std::size_t> counts;
+    for (std::size_t q = 0; q < nq; ++q) {
+      const auto res = search::greedy_search(ds, g, cm, cfg, ds.query(q));
+      const auto& trace = res.stats.step_distances;
+      if (trace.empty() || trace.front() <= 0.0f) continue;
+      const double d0 = trace.front();
+      if (trace.size() > sums.size()) {
+        sums.resize(trace.size(), 0.0);
+        counts.resize(trace.size(), 0);
+      }
+      for (std::size_t s = 0; s < trace.size(); ++s) {
+        sums[s] += trace[s] / d0;
+        ++counts[s];
+      }
+    }
+    for (std::size_t s = 0; s < sums.size(); ++s) {
+      if (counts[s] < nq / 20) break;  // tail too sparse to average
+      table.row()
+          .cell(name)
+          .cell(s)
+          .cell(sums[s] / static_cast<double>(counts[s]), 4)
+          .cell(counts[s]);
+    }
+  }
+
+  std::cout << "# expected shape: steep early descent, late convergence\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table II — the modeled RTX A6000 device properties, plus the adaptive
+// tuner's plans (§IV-C) across slot counts and search configurations:
+// the occupancy math every other bench relies on.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/tuner.hpp"
+#include "simgpu/device_props.hpp"
+
+using namespace algas;
+
+int main() {
+  bench::print_header("table2_device",
+                      "Table II: device properties + adaptive tuning plans");
+
+  const auto dev = sim::DeviceProps::rtx_a6000();
+  metrics::TsvTable props({"property", "value"});
+  props.row().cell(std::string("Name")).cell(dev.name);
+  props.row().cell(std::string("Shared memory per block"))
+      .cell(dev.shared_mem_per_block);
+  props.row().cell(std::string("Shared memory per multiprocessor"))
+      .cell(dev.shared_mem_per_sm);
+  props.row().cell(std::string("Reserved shared memory per block"))
+      .cell(dev.reserved_shared_mem_per_block);
+  props.row().cell(std::string("sharedMemPerBlockOptin"))
+      .cell(dev.shared_mem_per_block_optin);
+  props.row().cell(std::string("Number of SMs")).cell(dev.num_sms);
+  props.row().cell(std::string("Max blocks of SM"))
+      .cell(dev.max_blocks_per_sm);
+  props.row().cell(std::string("Max threads per block"))
+      .cell(dev.max_threads_per_block);
+  props.row().cell(std::string("Warp size")).cell(dev.warp_size);
+  props.print(std::cout);
+
+  std::cout << "\n# adaptive tuning plans (SIV-C)\n";
+  metrics::TsvTable plans({"slots", "candidate_len", "dim", "ok",
+                           "n_parallel", "blocks_per_sm", "smem_per_block",
+                           "avail_per_block", "reserved"});
+  for (std::size_t slots : {1, 8, 16, 32, 64, 128}) {
+    for (std::size_t L : {64, 128, 256, 512}) {
+      for (std::size_t dim : {128, 960}) {
+        core::TuneInput in;
+        in.device = dev;
+        in.slots = slots;
+        in.layout.candidate_entries = L;
+        in.layout.expand_entries = 128;
+        in.layout.dim = dim;
+        const auto plan = core::tune(in);
+        plans.row()
+            .cell(slots)
+            .cell(L)
+            .cell(dim)
+            .cell(std::string(plan.ok ? "yes" : "no"))
+            .cell(plan.n_parallel)
+            .cell(plan.blocks_per_sm)
+            .cell(plan.shared_mem_per_block)
+            .cell(plan.avail_per_block)
+            .cell(plan.reserved_per_block);
+      }
+    }
+  }
+  plans.print(std::cout);
+  return 0;
+}

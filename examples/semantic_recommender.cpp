@@ -1,0 +1,68 @@
+// Semantic recommender — the recommendation-engine scenario from the
+// paper's introduction: items live in a cosine embedding space (GloVe-like,
+// 200-d) and we recommend the nearest items to what a user just viewed,
+// at interactive latency, from a stream of per-user requests.
+//
+// Demonstrates: cosine metric end-to-end, NSW index, ALGAS serving with
+// small batches, and using result distances as similarity scores.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dataset/ground_truth.hpp"
+#include "dataset/synthetic.hpp"
+#include "graph/builder.hpp"
+
+using namespace algas;
+
+namespace {
+
+/// Human-readable pseudo-catalog: item id -> "category-###" label derived
+/// from the generator's cluster structure (stable across runs).
+std::string item_label(NodeId id) {
+  static const char* kCategories[] = {"film", "song", "book", "game",
+                                      "podcast", "show"};
+  return std::string(kCategories[id % 6]) + "-" + std::to_string(id);
+}
+
+}  // namespace
+
+int main() {
+  // Item embeddings: GloVe-like, unit-normalized, cosine similarity.
+  SyntheticSpec spec = glove_like_spec();
+  spec.num_base = 30000;
+  spec.num_queries = 48;  // 48 "recently viewed" seed items
+  Dataset ds = make_synthetic(spec);
+  compute_ground_truth(ds, 16);
+  std::printf("catalog: %s\n", ds.describe().c_str());
+
+  BuildConfig build;
+  build.degree = 32;
+  const Graph graph = build_graph(GraphKind::kNsw, ds, build);
+
+  core::AlgasConfig cfg;
+  cfg.search.topk = 5;
+  cfg.search.candidate_len = 64;
+  cfg.slots = 8;  // small batch: requests trickle in per user
+  core::AlgasEngine engine(ds, graph, cfg);
+
+  const auto report = engine.run_closed_loop(48);
+
+  std::printf("\nrecommendations (cosine similarity = 1 - distance):\n");
+  for (std::size_t u = 0; u < 3; ++u) {
+    const auto& rec = report.collector.records()[u];
+    std::printf("user %zu (viewed item like query %zu):\n", u,
+                rec.query_index);
+    for (const auto& kv : rec.results) {
+      std::printf("  %-14s similarity %.3f\n", item_label(kv.id()).c_str(),
+                  1.0f - kv.dist);
+    }
+  }
+
+  std::printf(
+      "\nserved %zu users | recall@5 %.3f | p99 latency %.1f us "
+      "(virtual)\n",
+      report.summary.queries, report.recall, report.summary.p99_service_us);
+  return 0;
+}

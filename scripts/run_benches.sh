@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate every paper table/figure. Outputs one TSV block per bench.
+set -e
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+  echo
+done

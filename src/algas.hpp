@@ -1,0 +1,24 @@
+// Umbrella header: the public ALGAS API.
+//
+//   #include "algas.hpp"
+//
+//   Dataset  ->  Graph  ->  AlgasEngine  ->  EngineReport
+//
+// See README.md for the five-call quickstart and examples/ for runnable
+// programs. Individual module headers remain includable on their own.
+#pragma once
+
+#include "baselines/ganns_engine.hpp"   // GANNS-style baseline
+#include "baselines/ivf.hpp"            // IVF-Flat baseline
+#include "baselines/static_engine.hpp"  // CAGRA-style baseline
+#include "core/engine.hpp"              // AlgasEngine
+#include "core/tuner.hpp"               // adaptive tuning (SIV-C)
+#include "dataset/dataset.hpp"
+#include "dataset/ground_truth.hpp"
+#include "dataset/io.hpp"               // fvecs/ivecs + dataset cache files
+#include "dataset/registry.hpp"         // named bench datasets
+#include "dataset/synthetic.hpp"        // Table III stand-in generators
+#include "graph/builder.hpp"            // NSW + CAGRA-style index builders
+#include "metrics/recall.hpp"
+#include "search/greedy.hpp"            // instrumented reference search
+#include "simgpu/device_props.hpp"      // simulated device (Table II)

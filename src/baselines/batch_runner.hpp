@@ -1,0 +1,49 @@
+// Shared machinery for the batch-synchronous baselines (CAGRA-style,
+// GANNS-style, IVF): wave-schedule a batch's CTA workloads onto the
+// device's resident-block capacity, then account the batch barrier.
+//
+// Unlike ALGAS's persistent kernel, these engines launch one kernel per
+// batch; every query's completion is gated on the batch's slowest CTA —
+// the query bubble of §III-A. The idle/active split this produces is what
+// bench_fig2 reports as the waste rate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simgpu/cost_model.hpp"
+#include "simgpu/device_props.hpp"
+#include "simgpu/shared_memory.hpp"
+
+namespace algas::baselines {
+
+struct CtaTask {
+  std::size_t query = 0;     ///< index within the batch
+  double duration_ns = 0.0;  ///< modeled search time of this CTA
+};
+
+struct BatchTiming {
+  /// Per-batch-query completion of the query's own CTAs (before merge),
+  /// relative to batch start.
+  std::vector<double> query_search_end;
+  /// Per-query completion including its TopK merge.
+  std::vector<double> query_final;
+  double gpu_end_ns = 0.0;   ///< when the kernel (all queries) finishes
+  double idle_ns = 0.0;      ///< CTA-time spent waiting at the batch barrier
+  double active_ns = 0.0;    ///< CTA-time spent searching/merging
+};
+
+/// Greedy list scheduling of `tasks` (in order) onto `capacity` resident
+/// block slots; per-query merge costs are appended to the query's own
+/// completion (the merge reuses the query's freed CTAs).
+BatchTiming wave_schedule(const std::vector<CtaTask>& tasks,
+                          std::size_t num_queries, std::size_t capacity,
+                          const std::vector<double>& merge_ns_per_query);
+
+/// Resident-block capacity for a per-block shared memory need: the smem-
+/// and block-limit-constrained occupancy the device sustains.
+std::size_t device_capacity(const sim::DeviceProps& dev,
+                            const sim::SharedMemoryLayout& layout,
+                            std::size_t reserved_per_block);
+
+}  // namespace algas::baselines

@@ -1,0 +1,23 @@
+#include "baselines/ganns_engine.hpp"
+
+namespace algas::baselines {
+
+StaticConfig GannsEngine::to_static(const GannsConfig& cfg) {
+  StaticConfig s;
+  s.search = cfg.search;
+  s.search.beam_width = 1;  // strictly greedy maintenance, no beam extend
+  s.search.full_sort_maintenance = true;  // heavier per-round upkeep
+  s.batch_size = cfg.batch_size;
+  s.n_parallel = 1;  // no multi-CTA implementation
+  s.merge = MergeMode::kNone;
+  s.device = cfg.device;
+  s.cost = cfg.cost;
+  s.seed = cfg.seed;
+  return s;
+}
+
+GannsEngine::GannsEngine(const Dataset& ds, const Graph& g,
+                         const GannsConfig& cfg)
+    : inner_(ds, g, to_static(cfg)) {}
+
+}  // namespace algas::baselines

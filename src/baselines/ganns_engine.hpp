@@ -1,0 +1,35 @@
+// GANNS-style baseline [Yu et al., ICDE'22], modified as in the paper's
+// §VI to dispatch small batches: batch-synchronous, one CTA per query
+// (GANNS has no multi-CTA mode), greedy maintenance every iteration, no
+// TopK merge. Thin configuration of StaticBatchEngine.
+#pragma once
+
+#include "baselines/static_engine.hpp"
+
+namespace algas::baselines {
+
+struct GannsConfig {
+  search::SearchConfig search;
+  std::size_t batch_size = 16;
+  sim::DeviceProps device = sim::DeviceProps::rtx_a6000();
+  sim::CostModel cost;
+  std::uint64_t seed = 1;
+};
+
+class GannsEngine {
+ public:
+  GannsEngine(const Dataset& ds, const Graph& g, const GannsConfig& cfg);
+
+  core::EngineReport run_closed_loop(std::size_t num_queries) {
+    return inner_.run_closed_loop(num_queries);
+  }
+  core::EngineReport run(const std::vector<core::PendingQuery>& arrivals) {
+    return inner_.run(arrivals);
+  }
+
+ private:
+  static StaticConfig to_static(const GannsConfig& cfg);
+  StaticBatchEngine inner_;
+};
+
+}  // namespace algas::baselines

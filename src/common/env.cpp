@@ -1,0 +1,40 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace algas {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  return std::string(raw);
+}
+
+double dataset_scale() {
+  return std::clamp(env_double("ALGAS_SCALE", 1.0), 0.01, 100.0);
+}
+
+std::string cache_dir() {
+  return env_string("ALGAS_CACHE_DIR", "./algas_cache");
+}
+
+}  // namespace algas

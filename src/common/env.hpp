@@ -1,0 +1,31 @@
+// Environment-variable knobs shared by benches, examples and tests.
+//
+//   ALGAS_SCALE      — multiplies every default dataset size (default 1.0).
+//                      Benches use this to trade fidelity for wall time.
+//   ALGAS_CACHE_DIR  — directory for serialized datasets / graphs / ground
+//                      truth (default "./algas_cache"). Empty disables caching.
+//   ALGAS_QUERIES    — overrides the default query count per bench config.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace algas {
+
+/// Fetch a double-valued env var, or `fallback` when unset/invalid.
+double env_double(const char* name, double fallback);
+
+/// Fetch a size-valued env var, or `fallback` when unset/invalid.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Fetch a string env var, or `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Global dataset scale factor (ALGAS_SCALE, default 1.0, clamped to
+/// [0.01, 100]).
+double dataset_scale();
+
+/// Cache directory (ALGAS_CACHE_DIR). Empty string disables caching.
+std::string cache_dir();
+
+}  // namespace algas

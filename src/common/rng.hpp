@@ -1,0 +1,85 @@
+// Deterministic, fast PRNG (xoshiro256**) used everywhere randomness is
+// needed so that runs are reproducible bit-for-bit across machines.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace algas {
+
+/// SplitMix64 — used to seed xoshiro and for cheap stateless hashing
+/// (e.g. per-CTA entry-point selection in multi-CTA search).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method is overkill here; modulo bias is
+    // negligible for bound << 2^64 and determinism is what we care about.
+    return next_u64() % bound;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box–Muller (uses two uniforms per pair, caches one).
+  float next_gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1 = next_float();
+    float u2 = next_float();
+    if (u1 < 1e-12f) u1 = 1e-12f;
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 2.0f * 3.14159265358979323846f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  bool has_cached_ = false;
+  float cached_ = 0.0f;
+};
+
+}  // namespace algas

@@ -1,0 +1,108 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace algas {
+
+void SampleStats::add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+void SampleStats::add_all(const std::vector<double>& vs) {
+  for (double v : vs) add(v);
+}
+
+void SampleStats::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0.0;
+}
+
+double SampleStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+const std::vector<double>& SampleStats::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+double SampleStats::min() const {
+  if (samples_.empty()) return 0.0;
+  return sorted().front();
+}
+
+double SampleStats::max() const {
+  if (samples_.empty()) return 0.0;
+  return sorted().back();
+}
+
+double SampleStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  const auto& s = sorted();
+  if (s.size() == 1) return s[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double v) {
+  double idx = (v - lo_) / width_;
+  auto bin = static_cast<std::ptrdiff_t>(std::floor(idx));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string Histogram::to_tsv() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double frac =
+        total_ == 0 ? 0.0
+                    : static_cast<double>(counts_[i]) /
+                          static_cast<double>(total_);
+    out << bin_lo(i) << '\t' << bin_hi(i) << '\t' << counts_[i] << '\t'
+        << frac << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace algas

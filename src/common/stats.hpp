@@ -1,0 +1,65 @@
+// Summary statistics over samples: mean, stddev, percentiles, histograms.
+// Used for latency distributions (Figs 1, 2, 13) and waste-rate accounting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace algas {
+
+/// Accumulates scalar samples and answers distribution queries.
+/// Percentile queries sort lazily; appending invalidates the sort.
+class SampleStats {
+ public:
+  void add(double v);
+  void add_all(const std::vector<double>& vs);
+  void clear();
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// p in [0, 100]. Linear interpolation between closest ranks.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Samples in ascending order (forces the lazy sort).
+  const std::vector<double>& sorted() const;
+
+  /// Raw samples in insertion order.
+  const std::vector<double>& raw() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double v);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::size_t total() const { return total_; }
+
+  /// One line per bin: "lo<TAB>hi<TAB>count<TAB>fraction".
+  std::string to_tsv() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace algas

@@ -1,0 +1,82 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace algas {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t parts = std::min(n, workers_.size() * 4 + 1);
+  const std::size_t chunk = (n + parts - 1) / parts;
+  // The last chunk runs on the calling thread so a 1-thread pool still makes
+  // forward progress while the caller is blocked in wait_idle().
+  std::size_t begin = 0;
+  for (; begin + chunk < n; begin += chunk) {
+    const std::size_t end = begin + chunk;
+    submit([&fn, begin, end] { fn(begin, end); });
+  }
+  fn(begin, n);
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace algas

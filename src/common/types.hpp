@@ -1,0 +1,39 @@
+// Core scalar aliases and small helpers shared by every ALGAS module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace algas {
+
+/// Vector/node identifier within a dataset or graph. 32 bits covers the
+/// billion-scale range the paper's datasets occupy after scaling.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Virtual time in the simulated-GPU substrate, in nanoseconds.
+using SimTime = double;
+
+/// Distance value. All metrics are mapped so that *smaller is closer*.
+using Dist = float;
+
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::infinity();
+
+/// Round `v` up to the next power of two (v >= 1).
+constexpr std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Integer ceil division.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace algas

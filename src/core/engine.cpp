@@ -1,0 +1,480 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "core/state_sync.hpp"
+#include "metrics/recall.hpp"
+#include "search/multi_cta.hpp"
+#include "search/topk_merge.hpp"
+#include "simgpu/simulation.hpp"
+
+namespace algas::core {
+
+const char* host_sync_name(HostSync s) {
+  switch (s) {
+    case HostSync::kPollNaive: return "poll-naive";
+    case HostSync::kPollMirrored: return "poll-mirrored";
+    case HostSync::kBlocking: return "blocking";
+  }
+  return "invalid";
+}
+
+namespace {
+
+/// Per-slot runtime shared between the slot's CTAs and its host worker.
+struct SlotRuntime {
+  bool busy = false;            // host-side: a query is in flight
+  bool quit = false;            // host-side: slot retired
+  std::size_t query_index = 0;
+  SimTime arrival_ns = 0.0;
+  SimTime dispatch_ns = 0.0;
+  search::VisitedTable visited;
+  std::vector<NodeId> entries;        // per-CTA entry points
+  std::vector<KV> result_buffer;      // T * L contiguous block (§IV-B)
+  // Per-query accumulation harvested into the QueryRecord at completion.
+  search::StepCost gpu_cost;
+  std::size_t steps = 0;
+  std::size_t rounds = 0;
+  // Completion bookkeeping (interrupt path + instrumentation).
+  std::size_t finished_ctas = 0;
+  bool complete = false;
+  SimTime gpu_done_ns = 0.0;  // when the slot's last CTA flagged Finish
+};
+
+struct RunState;
+
+/// One persistent-kernel CTA: polls its slot state, runs maintenance rounds
+/// when in Work, pushes results and flags Finish, exits on Quit.
+class CtaActor final : public sim::Actor {
+ public:
+  CtaActor(RunState& run, std::size_t slot, std::size_t cta);
+  void step(sim::Simulation& sim) override;
+  const char* name() const override { return "cta"; }
+  double busy_ns() const { return busy_ns_; }
+
+ private:
+  RunState& run_;
+  std::size_t slot_;
+  std::size_t cta_;
+  search::IntraCtaSearch search_;
+  bool active_ = false;
+  double busy_ns_ = 0.0;
+};
+
+/// One host worker thread: dispatches queries into its slots, polls their
+/// states, fetches + merges results, retires slots when the workload drains.
+class HostWorker final : public sim::Actor {
+ public:
+  HostWorker(RunState& run, std::vector<std::size_t> my_slots)
+      : run_(run), my_slots_(std::move(my_slots)) {}
+  void step(sim::Simulation& sim) override;
+  const char* name() const override { return "host-worker"; }
+
+ private:
+  bool dispatch(sim::Simulation& sim, std::size_t slot, double* elapsed);
+  void fetch_and_complete(sim::Simulation& sim, std::size_t slot,
+                          double* elapsed);
+
+  RunState& run_;
+  std::vector<std::size_t> my_slots_;
+  std::size_t cursor_ = 0;  ///< round-robin scan start (fairness)
+};
+
+/// All state of one engine run, wired together before Simulation::run().
+struct RunState {
+  RunState(const Dataset& ds_in, const Graph& g_in, const AlgasConfig& cfg_in,
+           const TunePlan& plan_in)
+      : ds(ds_in),
+        g(g_in),
+        cfg(cfg_in),
+        plan(plan_in),
+        channel(cfg_in.cost),
+        // Mirroring applies to the mirrored-polling mode only; blocking
+        // keeps device states local (interrupts carry completion instead).
+        sync(&channel, cfg_in.cost, cfg_in.slots, plan_in.n_parallel,
+             cfg_in.host_sync == HostSync::kPollMirrored),
+        slots(cfg_in.slots) {
+    const std::size_t list_len =
+        search::normalize_config(cfg.search, g.degree()).candidate_len;
+    for (auto& s : slots) {
+      s.visited.resize(ds.num_base());
+      s.result_buffer.assign(plan.n_parallel * list_len, KV::empty());
+    }
+    run_len = list_len;
+  }
+
+  const Dataset& ds;
+  const Graph& g;
+  const AlgasConfig& cfg;
+  const TunePlan& plan;
+
+  sim::Simulation sim;
+  sim::Channel channel;
+  StateSync sync;
+  QueryManager qm;
+  metrics::Collector collector;
+  std::vector<SlotRuntime> slots;
+  std::vector<std::unique_ptr<CtaActor>> ctas;
+  std::vector<std::unique_ptr<HostWorker>> workers;
+  std::vector<HostWorker*> worker_of_slot;  // interrupt routing (blocking)
+
+  std::size_t run_len = 0;       // candidate list length L (normalized)
+  std::size_t total_queries = 0;
+  std::size_t delivered = 0;
+  std::uint64_t interrupts = 0;
+  std::uint64_t worker_steps = 0;
+  double worker_busy_ns = 0.0;
+
+  bool workload_exhausted() const { return qm.empty(); }
+};
+
+CtaActor::CtaActor(RunState& run, std::size_t slot, std::size_t cta)
+    : run_(run),
+      slot_(slot),
+      cta_(cta),
+      search_(run.ds, run.g, run.cfg.cost, run.cfg.search) {}
+
+void CtaActor::step(sim::Simulation& sim) {
+  const sim::CostModel& cm = run_.cfg.cost;
+  double elapsed = 0.0;
+  const SlotState st = run_.sync.device_read(slot_, cta_, &elapsed);
+
+  switch (st) {
+    case SlotState::kWork: {
+      SlotRuntime& rt = run_.slots[slot_];
+      if (!active_) {
+        active_ = true;
+        // Start-of-query: load query to shared memory, clear this CTA's
+        // share of the visited bitmap (§IV-B step 1), seed the entry point.
+        const std::size_t words =
+            ceil_div(run_.ds.num_base(), 64) / run_.plan.n_parallel + 1;
+        elapsed += cm.cta_start_ns +
+                   static_cast<double>(words) * cm.bitmap_clear_per_word_ns;
+        search_.reset(run_.ds.query(rt.query_index), rt.entries[cta_],
+                      &rt.visited);
+      }
+      search::StepCost cost;
+      if (search_.step(cost)) {
+        elapsed += cost.total_ns();
+        rt.gpu_cost += cost;
+      }
+      if (search_.done()) {
+        // Push this CTA's sorted list into the slot's contiguous result
+        // block, then flag Finish.
+        const auto cand = search_.candidates();
+        std::copy(cand.begin(), cand.end(),
+                  rt.result_buffer.begin() + cta_ * run_.run_len);
+        elapsed += static_cast<double>(cand.size()) *
+                   cm.result_write_per_entry_ns;
+        rt.steps += search_.stats().expanded_points;
+        rt.rounds += search_.stats().rounds;
+        run_.sync.device_write(sim.now() + elapsed, slot_, cta_,
+                               SlotState::kFinish, &elapsed);
+        if (++rt.finished_ctas == run_.plan.n_parallel) {
+          rt.gpu_done_ns = sim.now() + elapsed;
+          if (run_.cfg.host_sync == HostSync::kBlocking) {
+            // Last CTA of the slot raises the completion interrupt.
+            rt.complete = true;
+            ++run_.interrupts;
+            sim.schedule(run_.worker_of_slot[slot_],
+                         sim.now() + elapsed +
+                             run_.cfg.cost.interrupt_latency_ns);
+          }
+        }
+        active_ = false;
+      }
+      busy_ns_ += elapsed;
+      sim.schedule(this, sim.now() + elapsed);
+      return;
+    }
+    case SlotState::kQuit:
+      return;  // persistent kernel thread exits; no reschedule
+    case SlotState::kNone:
+    case SlotState::kFinish:
+    case SlotState::kDone:
+      // Idle polling between queries (the cost dynamic batching pays
+      // instead of kernel relaunches).
+      sim.schedule(this, sim.now() + elapsed + cm.cta_poll_interval_ns);
+      return;
+  }
+}
+
+bool HostWorker::dispatch(sim::Simulation& sim, std::size_t slot,
+                          double* elapsed) {
+  auto q = run_.qm.pop_ready(sim.now() + *elapsed);
+  if (!q) return false;
+  const sim::CostModel& cm = run_.cfg.cost;
+  SlotRuntime& rt = run_.slots[slot];
+  rt.busy = true;
+  rt.query_index = q->query_index;
+  rt.arrival_ns = q->arrival_ns;
+  rt.gpu_cost = search::StepCost{};
+  rt.steps = 0;
+  rt.rounds = 0;
+  rt.finished_ctas = 0;
+  rt.complete = false;
+  rt.visited.clear();  // functional clear; virtual cost charged by CTAs
+  rt.entries = search::select_entry_points(run_.g, run_.plan.n_parallel,
+                                           run_.cfg.seed, q->query_index);
+  std::fill(rt.result_buffer.begin(), rt.result_buffer.end(), KV::empty());
+
+  *elapsed += cm.host_dispatch_ns;
+  // Query dispatch is a posted write into the slot's device buffer.
+  *elapsed += run_.channel.post(sim.now() + *elapsed,
+                                run_.ds.dim() * sizeof(float),
+                                sim::Xfer::kQuery);
+  rt.dispatch_ns = sim.now() + *elapsed;
+  for (std::size_t c = 0; c < run_.plan.n_parallel; ++c) {
+    run_.sync.host_write(sim.now(), slot, c, SlotState::kWork, elapsed);
+  }
+  return true;
+}
+
+void HostWorker::fetch_and_complete(sim::Simulation& sim, std::size_t slot,
+                                    double* elapsed) {
+  const sim::CostModel& cm = run_.cfg.cost;
+  SlotRuntime& rt = run_.slots[slot];
+  for (std::size_t c = 0; c < run_.plan.n_parallel; ++c) {
+    run_.sync.host_write(sim.now(), slot, c, SlotState::kDone, elapsed);
+  }
+  // One sequential read of the slot's whole result block (§IV-B), issued
+  // through this worker's private IO stream (§V-B).
+  *elapsed += cm.host_io_submit_ns;
+  *elapsed += run_.channel.transfer(
+      sim.now() + *elapsed,
+      rt.result_buffer.size() * sim::kListEntryBytes, sim::Xfer::kResult);
+  // Merge & filter on the host (§IV-B step 4).
+  *elapsed += cm.host_topk_merge_ns(run_.plan.n_parallel, run_.cfg.search.topk);
+  auto topk = search::merge_sorted_runs(rt.result_buffer,
+                                        run_.plan.n_parallel, run_.run_len,
+                                        run_.cfg.search.topk);
+
+  metrics::QueryRecord rec;
+  rec.query_index = rt.query_index;
+  rec.slot = slot;
+  rec.arrival_ns = rt.arrival_ns;
+  rec.dispatch_ns = rt.dispatch_ns;
+  rec.gpu_done_ns = rt.gpu_done_ns;
+  rec.done_ns = sim.now() + *elapsed;
+  rec.steps = rt.steps;
+  rec.rounds = rt.rounds;
+  rec.gpu_cost = rt.gpu_cost;
+  rec.results = std::move(topk);
+  run_.collector.add(std::move(rec));
+  ++run_.delivered;
+  rt.busy = false;
+}
+
+void HostWorker::step(sim::Simulation& sim) {
+  ++run_.worker_steps;
+  const sim::CostModel& cm = run_.cfg.cost;
+  const bool blocking = run_.cfg.host_sync == HostSync::kBlocking;
+  double elapsed = cm.host_loop_ns;
+  bool progress = false;
+
+  // Scan from the rotating cursor and handle at most ONE completed or
+  // dispatchable slot, then reschedule. A host thread is a serial resource:
+  // bounding the work per step keeps virtual-time stamps accurate instead
+  // of smearing a whole burst of completions onto one instant, and makes
+  // the thread's saturation point (§V-B) an emergent measurement.
+  const std::size_t n = my_slots_.size();
+  std::size_t advanced = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = my_slots_[(cursor_ + i) % n];
+    SlotRuntime& rt = run_.slots[slot];
+    if (rt.quit) continue;
+
+    if (rt.busy) {
+      // Detect completion: interrupt flag (blocking) or state poll.
+      bool finished;
+      if (blocking) {
+        finished = rt.complete;
+        if (finished) elapsed += cm.blocking_wake_ns;
+      } else {
+        finished = run_.sync.host_all_in_state(sim.now(), slot,
+                                               SlotState::kFinish, &elapsed);
+      }
+      if (!finished) continue;
+      // Bring the states through the legal transitions even in blocking
+      // mode (fetch_and_complete writes Finish -> Done).
+      fetch_and_complete(sim, slot, &elapsed);
+      if (!dispatch(sim, slot, &elapsed) && run_.workload_exhausted()) {
+        for (std::size_t c = 0; c < run_.plan.n_parallel; ++c) {
+          run_.sync.host_write(sim.now(), slot, c, SlotState::kQuit,
+                               &elapsed);
+        }
+        rt.quit = true;
+      }
+      progress = true;
+      advanced = i + 1;
+      break;
+    }
+
+    // Idle slot: refill or retire. Retiring is cheap bookkeeping, so it
+    // does not end the step.
+    if (dispatch(sim, slot, &elapsed)) {
+      progress = true;
+      advanced = i + 1;
+      break;
+    }
+    if (run_.workload_exhausted()) {
+      for (std::size_t c = 0; c < run_.plan.n_parallel; ++c) {
+        run_.sync.host_write(sim.now(), slot, c, SlotState::kQuit, &elapsed);
+      }
+      rt.quit = true;
+    }
+  }
+  if (progress && n > 0) cursor_ = (cursor_ + advanced) % n;
+
+  bool all_retired = true;
+  for (std::size_t s : my_slots_) all_retired &= run_.slots[s].quit;
+
+  run_.worker_busy_ns += elapsed;
+  if (all_retired) return;  // worker thread exits
+
+  double next = sim.now() + elapsed;
+  if (blocking) {
+    // No periodic polling: sleep until a completion interrupt. Two wake-ups
+    // must still be self-scheduled: (a) another completion is already
+    // pending (interrupt deliveries coalesce and each step handles one),
+    // (b) a future arrival needs a free slot.
+    bool any_pending = false;
+    bool any_free = false;
+    for (std::size_t s : my_slots_) {
+      const SlotRuntime& rt = run_.slots[s];
+      any_pending |= rt.busy && rt.complete;
+      any_free |= !rt.busy && !rt.quit;
+    }
+    const SimTime arrival = run_.qm.next_arrival();
+    if (any_pending || (any_free && std::isfinite(arrival))) {
+      SimTime when = next;
+      if (!any_pending && arrival > when) when = arrival;
+      sim.schedule(this, when);
+    }
+    return;
+  }
+  if (!progress) {
+    next += cm.host_poll_interval_ns;
+    // All owned slots idle and queries still pending means the workload is
+    // open-loop and dry right now: sleep until the next arrival.
+    bool any_busy = false;
+    for (std::size_t s : my_slots_) any_busy |= run_.slots[s].busy;
+    if (!any_busy) {
+      const SimTime arrival = run_.qm.next_arrival();
+      if (std::isfinite(arrival)) next = std::max(next, arrival);
+    }
+  }
+  sim.schedule(this, next);
+}
+
+}  // namespace
+
+AlgasEngine::AlgasEngine(const Dataset& ds, const Graph& g, AlgasConfig cfg)
+    : ds_(ds), g_(g), cfg_(std::move(cfg)) {
+  cfg_.search = search::normalize_config(cfg_.search, g.degree());
+  cfg_.host_threads = std::max<std::size_t>(1, cfg_.host_threads);
+
+  TuneInput in;
+  in.device = cfg_.device;
+  in.slots = cfg_.slots;
+  in.requested_parallel = cfg_.n_parallel;
+  in.layout.candidate_entries = cfg_.search.candidate_len;
+  in.layout.expand_entries =
+      next_pow2(std::max<std::size_t>(1, cfg_.search.beam_width) * g.degree());
+  in.layout.dim = ds.dim();
+  plan_ = tune(in);
+  if (!plan_.ok) {
+    throw std::invalid_argument("ALGAS tuning failed: " + plan_.reason);
+  }
+}
+
+EngineReport AlgasEngine::run_closed_loop(std::size_t num_queries) {
+  num_queries = std::min(num_queries, ds_.num_queries());
+  std::vector<PendingQuery> arrivals;
+  arrivals.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    arrivals.push_back({i, 0.0});
+  }
+  return run(arrivals);
+}
+
+EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
+  RunState run(ds_, g_, cfg_, plan_);
+  for (const auto& a : arrivals) run.qm.push(a);
+  run.total_queries = arrivals.size();
+
+  // Persistent kernel: one launch, then every CTA lives for the whole run.
+  const SimTime start = cfg_.cost.kernel_launch_ns;
+  for (std::size_t s = 0; s < cfg_.slots; ++s) {
+    for (std::size_t c = 0; c < plan_.n_parallel; ++c) {
+      run.ctas.push_back(std::make_unique<CtaActor>(run, s, c));
+      run.sim.schedule(run.ctas.back().get(), start);
+    }
+  }
+
+  // Host workers: slots round-robin across threads (§V-B).
+  std::vector<std::vector<std::size_t>> owned(cfg_.host_threads);
+  for (std::size_t s = 0; s < cfg_.slots; ++s) {
+    owned[s % cfg_.host_threads].push_back(s);
+  }
+  run.worker_of_slot.assign(cfg_.slots, nullptr);
+  for (auto& slots : owned) {
+    if (slots.empty()) continue;
+    auto worker = std::make_unique<HostWorker>(run, slots);
+    for (std::size_t s : slots) run.worker_of_slot[s] = worker.get();
+    run.workers.push_back(std::move(worker));
+    run.sim.schedule(run.workers.back().get(), 0.0);
+  }
+
+  run.sim.run();
+
+  if (run.delivered != run.total_queries) {
+    throw std::logic_error("ALGAS run lost queries: delivered " +
+                           std::to_string(run.delivered) + " of " +
+                           std::to_string(run.total_queries));
+  }
+
+  EngineReport rep;
+  rep.summary = run.collector.summarize();
+  rep.plan = plan_;
+  rep.sim_events = run.sim.events_processed();
+  rep.host_polls = run.sync.host_polls();
+  rep.interrupts = run.interrupts;
+  rep.host_worker_steps = run.worker_steps;
+  rep.host_busy_ns = run.worker_busy_ns;
+  const auto total = run.channel.total();
+  rep.pcie_transactions = total.transactions;
+  rep.pcie_bytes = total.bytes;
+  rep.pcie_state_poll_transactions =
+      run.channel.counters(sim::Xfer::kStatePoll).transactions;
+  rep.pcie_state_write_transactions =
+      run.channel.counters(sim::Xfer::kStateWrite).transactions;
+  rep.pcie_state_transactions =
+      rep.pcie_state_poll_transactions + rep.pcie_state_write_transactions;
+
+  double busy = 0.0;
+  for (const auto& cta : run.ctas) busy += cta->busy_ns();
+  const double span = rep.summary.span_ns;
+  if (span > 0.0 && !run.ctas.empty()) {
+    rep.gpu_utilization =
+        busy / (span * static_cast<double>(run.ctas.size()));
+  }
+
+  if (ds_.has_ground_truth()) {
+    double total_recall = 0.0;
+    for (const auto& r : run.collector.records()) {
+      total_recall += metrics::recall_at_k(ds_, r.query_index, r.results,
+                                           cfg_.search.topk);
+    }
+    rep.recall = run.collector.size() == 0
+                     ? 0.0
+                     : total_recall / static_cast<double>(run.collector.size());
+  }
+  rep.collector = std::move(run.collector);
+  return rep;
+}
+
+}  // namespace algas::core

@@ -1,0 +1,91 @@
+// AlgasEngine — the paper's system (Fig 6): dynamic batching over slot state
+// machines, a persistent kernel of multi-CTA searchers with beam extend, a
+// host side that merges TopK and recycles slots, optional state mirroring,
+// and adaptive tuning. Executes on the simulated GPU substrate; results are
+// functionally real, timing is virtual.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query_manager.hpp"
+#include "core/tuner.hpp"
+#include "dataset/dataset.hpp"
+#include "graph/graph.hpp"
+#include "metrics/collector.hpp"
+#include "search/intra_cta.hpp"
+#include "simgpu/channel.hpp"
+#include "simgpu/cost_model.hpp"
+#include "simgpu/device_props.hpp"
+
+namespace algas::core {
+
+/// How the host learns that a slot finished (§V-A).
+enum class HostSync : std::uint8_t {
+  kPollNaive = 0,   ///< host polls device-resident states across the channel
+  kPollMirrored,    ///< GDRCopy-style local mirrors; polls are free of PCIe
+  kBlocking,        ///< no polling: completion interrupts wake the host
+};
+
+const char* host_sync_name(HostSync s);
+
+struct AlgasConfig {
+  search::SearchConfig search;
+  /// Number of slots — the dynamic batch size.
+  std::size_t slots = 16;
+  /// Host worker threads; each owns slots/host_threads slots with a private
+  /// IO stream (§V-B).
+  std::size_t host_threads = 1;
+  /// CTAs per slot; 0 lets the adaptive tuner maximize it (§IV-C).
+  std::size_t n_parallel = 0;
+  /// §V-A synchronization scheme. The paper's choice is mirrored polling;
+  /// naive polling and blocking exist for the ablations.
+  HostSync host_sync = HostSync::kPollMirrored;
+  sim::DeviceProps device = sim::DeviceProps::rtx_a6000();
+  sim::CostModel cost;
+  std::uint64_t seed = 1;
+};
+
+/// Common result shape for all engines (ALGAS and baselines).
+struct EngineReport {
+  metrics::Collector collector;
+  metrics::RunSummary summary;
+  double recall = 0.0;            ///< mean recall@topk (if GT available)
+  double gpu_utilization = 0.0;   ///< busy CTA-time / (CTAs x span)
+  std::uint64_t pcie_transactions = 0;
+  std::uint64_t pcie_state_transactions = 0;       ///< polls + write-throughs
+  std::uint64_t pcie_state_poll_transactions = 0;  ///< naive-mode host polls
+  std::uint64_t pcie_state_write_transactions = 0;
+  std::uint64_t pcie_bytes = 0;
+  std::uint64_t host_polls = 0;
+  std::uint64_t interrupts = 0;  ///< completion interrupts (blocking mode)
+  std::uint64_t host_worker_steps = 0;
+  double host_busy_ns = 0.0;  ///< summed host-thread busy time
+  TunePlan plan;
+  std::uint64_t sim_events = 0;
+};
+
+class AlgasEngine {
+ public:
+  /// Throws std::invalid_argument when the tuner cannot fit the
+  /// configuration on the device.
+  AlgasEngine(const Dataset& ds, const Graph& g, AlgasConfig cfg);
+
+  const TunePlan& plan() const { return plan_; }
+  const AlgasConfig& config() const { return cfg_; }
+
+  /// Closed loop: the first `num_queries` dataset queries, all available at
+  /// t=0 (capped at the dataset's query count).
+  EngineReport run_closed_loop(std::size_t num_queries);
+
+  /// Open loop with explicit arrival times (nondecreasing).
+  EngineReport run(const std::vector<PendingQuery>& arrivals);
+
+ private:
+  const Dataset& ds_;
+  const Graph& g_;
+  AlgasConfig cfg_;
+  TunePlan plan_;
+};
+
+}  // namespace algas::core

@@ -1,0 +1,31 @@
+#include "core/query_manager.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace algas::core {
+
+void QueryManager::push(PendingQuery q) {
+  if (q.arrival_ns < last_arrival_) {
+    throw std::invalid_argument("arrivals must be nondecreasing");
+  }
+  last_arrival_ = q.arrival_ns;
+  pending_.push_back(q);
+  ++total_;
+}
+
+std::optional<PendingQuery> QueryManager::pop_ready(SimTime now) {
+  if (pending_.empty() || pending_.front().arrival_ns > now) {
+    return std::nullopt;
+  }
+  PendingQuery q = pending_.front();
+  pending_.pop_front();
+  return q;
+}
+
+SimTime QueryManager::next_arrival() const {
+  if (pending_.empty()) return std::numeric_limits<SimTime>::infinity();
+  return pending_.front().arrival_ns;
+}
+
+}  // namespace algas::core

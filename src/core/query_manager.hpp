@@ -1,0 +1,42 @@
+// Concurrent query manager (§V-B): the FIFO of submitted queries that host
+// worker threads draw from, plus arrival-time bookkeeping for open-loop
+// workloads. In the single-threaded simulation "concurrent" reduces to
+// shared state; fairness across host workers comes from FIFO pops at each
+// worker's virtual cursor.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace algas::core {
+
+struct PendingQuery {
+  std::size_t query_index = 0;
+  SimTime arrival_ns = 0.0;
+};
+
+class QueryManager {
+ public:
+  /// Arrivals must be pushed in nondecreasing arrival order.
+  void push(PendingQuery q);
+
+  /// Pop the oldest query whose arrival time has passed.
+  std::optional<PendingQuery> pop_ready(SimTime now);
+
+  /// Earliest arrival still pending, or infinity when empty.
+  SimTime next_arrival() const;
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t pending() const { return pending_.size(); }
+  std::size_t total_pushed() const { return total_; }
+
+ private:
+  std::deque<PendingQuery> pending_;
+  std::size_t total_ = 0;
+  SimTime last_arrival_ = 0.0;
+};
+
+}  // namespace algas::core

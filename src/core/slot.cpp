@@ -1,0 +1,32 @@
+#include "core/slot.hpp"
+
+namespace algas::core {
+
+const char* slot_state_name(SlotState s) {
+  switch (s) {
+    case SlotState::kNone: return "None";
+    case SlotState::kWork: return "Work";
+    case SlotState::kFinish: return "Finish";
+    case SlotState::kDone: return "Done";
+    case SlotState::kQuit: return "Quit";
+  }
+  return "invalid";
+}
+
+bool is_legal_transition(SlotState from, SlotState to) {
+  switch (from) {
+    case SlotState::kNone:
+      return to == SlotState::kWork || to == SlotState::kQuit;
+    case SlotState::kWork:
+      return to == SlotState::kFinish;
+    case SlotState::kFinish:
+      return to == SlotState::kDone;
+    case SlotState::kDone:
+      return to == SlotState::kWork || to == SlotState::kQuit;
+    case SlotState::kQuit:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace algas::core

@@ -1,0 +1,30 @@
+// Slot state machine of the dynamic batching mechanism (§IV-A, Fig 5).
+//
+// A slot owns the full lifecycle of one in-flight query. Each of the slot's
+// N_parallel CTAs carries its own state word; the host treats the slot as
+// finished when every CTA state reads Finish.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace algas::core {
+
+enum class SlotState : std::uint32_t {
+  kNone = 0,  ///< slot initialized, can accept a query
+  kWork,      ///< host filled a query; CTAs search on detection
+  kFinish,    ///< CTA pushed its results and flagged completion
+  kDone,      ///< host fetched results (transient host-side view)
+  kQuit,      ///< slot retired; CTA exits its polling loop
+};
+
+const char* slot_state_name(SlotState s);
+
+/// Legal transitions (Fig 5): None->Work (host), Work->Finish (CTA),
+/// Finish->Done (host), Done->Work (host, next query), Done->Quit (host),
+/// None->Quit (host, drain before first query).
+bool is_legal_transition(SlotState from, SlotState to);
+
+}  // namespace algas::core

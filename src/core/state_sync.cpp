@@ -1,0 +1,90 @@
+#include "core/state_sync.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace algas::core {
+
+namespace {
+/// One state word on the wire.
+constexpr std::size_t kStateBytes = sizeof(std::uint32_t);
+}  // namespace
+
+StateSync::StateSync(sim::Channel* channel, const sim::CostModel& cm,
+                     std::size_t slots, std::size_t ctas_per_slot,
+                     bool mirrored)
+    : channel_(channel),
+      cm_(cm),
+      slots_(slots),
+      ctas_(ctas_per_slot),
+      mirrored_(mirrored),
+      states_(slots * ctas_per_slot, SlotState::kNone) {
+  assert(channel_ != nullptr);
+}
+
+SlotState StateSync::host_read(SimTime now, std::size_t slot, std::size_t cta,
+                               double* elapsed) {
+  ++host_polls_;
+  if (mirrored_) {
+    *elapsed += cm_.poll_local_ns;
+  } else {
+    // Reading device memory: one small channel transaction per poll.
+    *elapsed += cm_.poll_local_ns +
+                channel_->transfer(now + *elapsed, kStateBytes,
+                                   sim::Xfer::kStatePoll);
+  }
+  return at(slot, cta);
+}
+
+void StateSync::host_write(SimTime now, std::size_t slot, std::size_t cta,
+                           SlotState next, double* elapsed) {
+  SlotState& s = at(slot, cta);
+  if (!is_legal_transition(s, next)) {
+    throw std::logic_error(std::string("illegal host transition ") +
+                           slot_state_name(s) + " -> " +
+                           slot_state_name(next));
+  }
+  ++transitions_;
+  // Local update plus one posted write-through in both modes: in naive mode
+  // the state lives on the device, in mirrored mode the remote copy is
+  // updated. Posted: the host does not wait for propagation.
+  *elapsed += cm_.poll_local_ns +
+              channel_->post(now + *elapsed, kStateBytes,
+                             sim::Xfer::kStateWrite);
+  s = next;
+}
+
+SlotState StateSync::device_read(std::size_t slot, std::size_t cta,
+                                 double* elapsed) {
+  *elapsed += cm_.poll_local_ns;  // kernel polls its own memory
+  return at(slot, cta);
+}
+
+void StateSync::device_write(SimTime now, std::size_t slot, std::size_t cta,
+                             SlotState next, double* elapsed) {
+  SlotState& s = at(slot, cta);
+  if (!is_legal_transition(s, next)) {
+    throw std::logic_error(std::string("illegal device transition ") +
+                           slot_state_name(s) + " -> " +
+                           slot_state_name(next));
+  }
+  ++transitions_;
+  *elapsed += cm_.poll_local_ns;
+  if (mirrored_) {
+    // Posted write-through to the host mirror so host polls stay local.
+    *elapsed += channel_->post(now + *elapsed, kStateBytes,
+                               sim::Xfer::kStateWrite);
+  }
+  // Naive mode: the state lives in device memory; the host pays on poll.
+  s = next;
+}
+
+bool StateSync::host_all_in_state(SimTime now, std::size_t slot, SlotState s,
+                                  double* elapsed) {
+  for (std::size_t c = 0; c < ctas_; ++c) {
+    if (host_read(now, slot, c, elapsed) != s) return false;
+  }
+  return true;
+}
+
+}  // namespace algas::core

@@ -1,0 +1,76 @@
+// Slot/CTA state storage with the §V-A state optimization.
+//
+// Naive mode: states live in device memory. Every host poll and host write
+// crosses the channel; device-side accesses are local.
+//
+// Mirrored mode (GDRCopy substitution): both sides hold state copies mapped
+// to each other. Polls read the local copy (no channel traffic); a state
+// *change* performs one write-through transaction to the remote copy. Only
+// one side has modification rights per state at any time (Fig 9), so the
+// mirrors never conflict.
+//
+// The functional state word is shared (the simulation is single-threaded);
+// what differs between modes is the virtual-time cost and channel traffic —
+// exactly the quantity Fig 18 measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/slot.hpp"
+#include "simgpu/channel.hpp"
+
+namespace algas::core {
+
+class StateSync {
+ public:
+  StateSync(sim::Channel* channel, const sim::CostModel& cm,
+            std::size_t slots, std::size_t ctas_per_slot, bool mirrored);
+
+  std::size_t slots() const { return slots_; }
+  std::size_t ctas_per_slot() const { return ctas_; }
+  bool mirrored() const { return mirrored_; }
+
+  /// Host polls one CTA state. Adds the poll's cost to *elapsed and issues
+  /// channel traffic in naive mode. `now` is the poller's current cursor.
+  SlotState host_read(SimTime now, std::size_t slot, std::size_t cta,
+                      double* elapsed);
+
+  /// Host transitions one CTA state (must be legal). Cost: local write +
+  /// write-through transaction (mirrored) or remote write (naive).
+  void host_write(SimTime now, std::size_t slot, std::size_t cta,
+                  SlotState next, double* elapsed);
+
+  /// Device-side poll — local in both modes (the kernel polls its own
+  /// memory).
+  SlotState device_read(std::size_t slot, std::size_t cta, double* elapsed);
+
+  /// Device transitions its state. Mirrored mode pays one write-through.
+  void device_write(SimTime now, std::size_t slot, std::size_t cta,
+                    SlotState next, double* elapsed);
+
+  /// Convenience: true when all CTA states of `slot` equal `s` (host view);
+  /// polls each CTA state and accumulates cost.
+  bool host_all_in_state(SimTime now, std::size_t slot, SlotState s,
+                         double* elapsed);
+
+  std::uint64_t host_polls() const { return host_polls_; }
+  std::uint64_t state_transitions() const { return transitions_; }
+
+ private:
+  SlotState& at(std::size_t slot, std::size_t cta) {
+    return states_[slot * ctas_ + cta];
+  }
+
+  sim::Channel* channel_;
+  sim::CostModel cm_;
+  std::size_t slots_;
+  std::size_t ctas_;
+  bool mirrored_;
+  std::vector<SlotState> states_;
+  std::uint64_t host_polls_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace algas::core

@@ -1,0 +1,95 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace algas::core {
+
+std::size_t auto_reserved_bytes(std::size_t dim) {
+  // Baseline 1 KiB (Table II "Reserved shared memory per block") plus a
+  // dimension-scaled runtime cache: high-dimensional datasets keep hot
+  // vector chunks cached, §IV-C.
+  const std::size_t base = 1024;
+  if (dim >= 768) return base + 3 * 1024;
+  if (dim >= 384) return base + 2 * 1024;
+  if (dim >= 192) return base + 1024;
+  return base;
+}
+
+TunePlan tune(const TuneInput& in) {
+  TunePlan plan;
+  plan.threads_per_block = in.device.warp_size;
+  plan.reserved_per_block = in.reserved_per_block != 0
+                                ? in.reserved_per_block
+                                : auto_reserved_bytes(in.layout.dim);
+  plan.shared_mem_per_block = in.layout.total_bytes();
+
+  if (in.slots == 0) {
+    plan.reason = "slots must be >= 1";
+    return plan;
+  }
+  const std::size_t block_limit = in.device.max_resident_blocks();
+  if (in.slots > block_limit) {
+    std::ostringstream out;
+    out << in.slots << " slots exceed the device's " << block_limit
+        << " resident blocks";
+    plan.reason = out.str();
+    return plan;
+  }
+
+  // Upper bound from the block-residency constraint. Auto mode also caps at
+  // 16 CTAs per query: beyond that, extra entry points add visited-table
+  // contention without recall or latency benefit (CAGRA's practical limit).
+  std::size_t n_parallel = block_limit / in.slots;
+  // Simultaneous *full-speed* execution: one warp per SM scheduler. Beyond
+  // that, persistent-kernel CTAs would timeslice and every slot slows down.
+  const std::size_t speed_limit =
+      std::max<std::size_t>(1, in.device.full_speed_ctas() / in.slots);
+  n_parallel = std::min(n_parallel, speed_limit);
+  if (in.requested_parallel != 0) {
+    n_parallel = std::min(n_parallel, in.requested_parallel);
+  } else {
+    n_parallel = std::min<std::size_t>(n_parallel, 8);
+  }
+
+  // Walk N_parallel down until the shared-memory constraint also holds.
+  for (; n_parallel >= 1; --n_parallel) {
+    const std::size_t blocks_per_sm =
+        ceil_div(n_parallel * in.slots, in.device.num_sms);
+    const auto occ = sim::check_occupancy(in.device, in.layout, blocks_per_sm,
+                                          plan.reserved_per_block);
+    if (occ.fits) {
+      plan.ok = true;
+      plan.n_parallel = n_parallel;
+      plan.total_ctas = n_parallel * in.slots;
+      plan.blocks_per_sm = blocks_per_sm;
+      plan.avail_per_block = occ.avail_per_block;
+      plan.reason = "ok";
+      return plan;
+    }
+    if (n_parallel == 1) {
+      plan.reason = "even N_parallel=1 violates shared memory: " + occ.reason;
+      return plan;
+    }
+  }
+  plan.reason = "no feasible N_parallel";
+  return plan;
+}
+
+std::string TunePlan::describe() const {
+  std::ostringstream out;
+  if (!ok) {
+    out << "tuning failed: " << reason;
+    return out.str();
+  }
+  out << "N_parallel=" << n_parallel << " total_ctas=" << total_ctas
+      << " blocks/SM=" << blocks_per_sm << " threads/block="
+      << threads_per_block << " smem/block=" << shared_mem_per_block
+      << "B (avail " << avail_per_block << "B, reserved "
+      << reserved_per_block << "B)";
+  return out.str();
+}
+
+}  // namespace algas::core

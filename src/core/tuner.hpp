@@ -1,0 +1,54 @@
+// Adaptive GPU parameter tuning (§IV-C).
+//
+// Given the device limits and a search configuration, pick N_parallel (CTAs
+// per query / slot) and the per-block shared-memory budget so that every
+// slot's CTAs are simultaneously resident:
+//
+//   N_parallel * slots <= N_SM * N_max_block_per_SM
+//   N_block_per_SM      = align(N_parallel * slots / N_SM)
+//   M_avail_per_block  <= M_per_SM / N_block_per_SM - M_reserved_per_block
+//
+// Threads per block are fixed at one warp "to facilitate management and
+// shuffle operations".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "simgpu/device_props.hpp"
+#include "simgpu/shared_memory.hpp"
+
+namespace algas::core {
+
+struct TuneInput {
+  sim::DeviceProps device;
+  std::size_t slots = 16;               ///< dynamic batch size
+  sim::SharedMemoryLayout layout;       ///< per-CTA shared-memory need
+  /// Requested CTAs per query; 0 = maximize under the constraints.
+  std::size_t requested_parallel = 0;
+  /// Extra shared memory reserved per block as runtime cache; 0 = auto
+  /// (scales with dimension, §IV-C).
+  std::size_t reserved_per_block = 0;
+};
+
+struct TunePlan {
+  bool ok = false;
+  std::string reason;                   ///< why tuning failed / succeeded
+  std::size_t n_parallel = 0;           ///< CTAs per slot
+  std::size_t total_ctas = 0;           ///< n_parallel * slots
+  std::size_t blocks_per_sm = 0;        ///< aligned residency per SM
+  std::size_t threads_per_block = 0;    ///< = warp size
+  std::size_t avail_per_block = 0;      ///< shared-memory ceiling honoured
+  std::size_t reserved_per_block = 0;   ///< runtime cache actually reserved
+  std::size_t shared_mem_per_block = 0; ///< layout bytes actually used
+
+  std::string describe() const;
+};
+
+/// Compute the tuning plan. Never throws; inspect plan.ok.
+TunePlan tune(const TuneInput& in);
+
+/// The automatic runtime-cache reservation for a given dimension.
+std::size_t auto_reserved_bytes(std::size_t dim);
+
+}  // namespace algas::core

@@ -1,0 +1,15 @@
+#include "dataset/dataset.hpp"
+
+#include <sstream>
+
+namespace algas {
+
+std::string Dataset::describe() const {
+  std::ostringstream out;
+  out << name_ << "  n=" << num_base() << " d=" << dim_
+      << " metric=" << metric_name(metric_) << " q=" << num_queries();
+  if (has_ground_truth()) out << " gt_k=" << gt_k_;
+  return out.str();
+}
+
+}  // namespace algas

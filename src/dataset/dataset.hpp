@@ -1,0 +1,70 @@
+// In-memory dataset: base vectors, query vectors, ground truth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "distance/distance.hpp"
+
+namespace algas {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, std::size_t dim, Metric metric)
+      : name_(std::move(name)), dim_(dim), metric_(metric) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t dim() const { return dim_; }
+  Metric metric() const { return metric_; }
+
+  std::size_t num_base() const { return dim_ == 0 ? 0 : base_.size() / dim_; }
+  std::size_t num_queries() const {
+    return dim_ == 0 ? 0 : queries_.size() / dim_;
+  }
+  std::size_t gt_k() const { return gt_k_; }
+
+  std::span<const float> base_vector(std::size_t i) const {
+    return {base_.data() + i * dim_, dim_};
+  }
+  std::span<const float> query(std::size_t i) const {
+    return {queries_.data() + i * dim_, dim_};
+  }
+  std::span<const NodeId> ground_truth(std::size_t q) const {
+    return {gt_.data() + q * gt_k_, gt_k_};
+  }
+
+  std::vector<float>& mutable_base() { return base_; }
+  std::vector<float>& mutable_queries() { return queries_; }
+  const std::vector<float>& base() const { return base_; }
+  const std::vector<float>& queries() const { return queries_; }
+
+  void set_ground_truth(std::vector<NodeId> gt, std::size_t k) {
+    gt_ = std::move(gt);
+    gt_k_ = k;
+  }
+  bool has_ground_truth() const { return gt_k_ > 0 && !gt_.empty(); }
+  const std::vector<NodeId>& ground_truth_flat() const { return gt_; }
+
+  /// Distance from query q to base vector i under the dataset metric.
+  float query_distance(std::size_t q, NodeId i) const {
+    return distance(metric_, query(q), base_vector(i));
+  }
+
+  /// One-line summary ("SIFT-like  n=100000 d=128 metric=L2 q=1000").
+  std::string describe() const;
+
+ private:
+  std::string name_;
+  std::size_t dim_ = 0;
+  Metric metric_ = Metric::kL2;
+  std::vector<float> base_;
+  std::vector<float> queries_;
+  std::vector<NodeId> gt_;
+  std::size_t gt_k_ = 0;
+};
+
+}  // namespace algas

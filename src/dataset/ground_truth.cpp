@@ -1,0 +1,47 @@
+#include "dataset/ground_truth.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+
+namespace algas {
+
+std::vector<NodeId> brute_force_topk(const Dataset& ds,
+                                     std::span<const float> query,
+                                     std::size_t k) {
+  using Entry = std::pair<float, NodeId>;  // max-heap on distance
+  std::priority_queue<Entry> heap;
+  const std::size_t n = ds.num_base();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = distance(ds.metric(), query, ds.base_vector(i));
+    if (heap.size() < k) {
+      heap.emplace(d, static_cast<NodeId>(i));
+    } else if (d < heap.top().first) {
+      heap.pop();
+      heap.emplace(d, static_cast<NodeId>(i));
+    }
+  }
+  std::vector<NodeId> out(heap.size());
+  for (std::size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+void compute_ground_truth(Dataset& ds, std::size_t k) {
+  const std::size_t q = ds.num_queries();
+  k = std::min(k, ds.num_base());
+  std::vector<NodeId> gt(q * k, kInvalidNode);
+  global_pool().parallel_for(q, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      auto topk = brute_force_topk(ds, ds.query(i), k);
+      std::copy(topk.begin(), topk.end(), gt.begin() + i * k);
+    }
+  });
+  ds.set_ground_truth(std::move(gt), k);
+}
+
+}  // namespace algas

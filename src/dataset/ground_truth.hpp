@@ -1,0 +1,20 @@
+// Exact k-NN ground truth via multithreaded brute force. Offline work —
+// runs on real threads, outside the simulated system.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+
+namespace algas {
+
+/// Exact top-k base ids for one query, ascending by distance.
+std::vector<NodeId> brute_force_topk(const Dataset& ds,
+                                     std::span<const float> query,
+                                     std::size_t k);
+
+/// Compute and attach exact ground truth for all queries of `ds`.
+void compute_ground_truth(Dataset& ds, std::size_t k);
+
+}  // namespace algas

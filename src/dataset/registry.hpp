@@ -1,0 +1,38 @@
+// Named bench datasets (Table III stand-ins) with disk caching.
+//
+// Default scaled sizes keep a full figure reproduction tractable on one CPU
+// core; ALGAS_SCALE multiplies them. Real TEXMEX files can be substituted by
+// placing fvecs files where load_bench_dataset documents (see README).
+//
+//   name      paper            here (scale=1)     dim   metric
+//   sift      SIFT1M  1M       80,000             128   L2
+//   gist      GIST1M  1M       20,000             960   L2
+//   glove     GLoVe200 1.18M   80,000             200   Cosine
+//   nytimes   NYTimes 0.29M    30,000             256   Cosine
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+
+namespace algas {
+
+/// Ground-truth depth cached with every bench dataset (recall@k for k<=100).
+inline constexpr std::size_t kBenchGtK = 100;
+
+/// All registered bench dataset names, paper order.
+std::vector<std::string> bench_dataset_names();
+
+/// Build (or load from ALGAS_CACHE_DIR) the named dataset with ground truth
+/// attached. Throws std::invalid_argument for unknown names.
+Dataset load_bench_dataset(const std::string& name);
+
+/// As above but with explicit sizes (bypasses the scale env var); used by
+/// tests with tiny sizes. Caching is skipped when `use_cache` is false.
+Dataset load_bench_dataset_sized(const std::string& name,
+                                 std::size_t num_base,
+                                 std::size_t num_queries, std::size_t gt_k,
+                                 bool use_cache);
+
+}  // namespace algas

@@ -1,0 +1,53 @@
+// Synthetic dataset generators standing in for the paper's Table III corpora
+// (SIFT1M, GIST1M, GLoVe200, NYTimes — see DESIGN.md substitution table).
+//
+// Each generator matches the real dataset's dimension and metric and mimics
+// its cluster structure with a Gaussian mixture: `clusters` centers drawn
+// uniformly in [0,1]^d, points drawn around a center with per-cluster spread.
+// Queries are drawn from the same mixture (plus extra noise) so their
+// difficulty — and hence the search-step skew of Figs 1/2 — varies the same
+// way real query sets do. Cosine datasets are L2-normalized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dataset/dataset.hpp"
+
+namespace algas {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::size_t num_base = 10000;
+  std::size_t num_queries = 100;
+  std::size_t dim = 32;
+  Metric metric = Metric::kL2;
+  std::size_t clusters = 64;
+  /// Cluster radius relative to the unit cube; bigger = more overlap =
+  /// harder dataset. Per-cluster radii are jittered by ±50% so some regions
+  /// are dense and some sparse (this drives query-step variance).
+  double spread = 0.08;
+  /// Extra noise added to queries on top of the mixture draw.
+  double query_noise = 0.04;
+  /// Fraction of queries drawn uniformly (far from any cluster) to create
+  /// the long-step tail the paper observes.
+  double outlier_query_fraction = 0.05;
+  /// Fraction of base points drawn uniformly between clusters. Real
+  /// descriptor corpora are not separable mixtures; this connective tissue
+  /// is what makes kNN graphs navigable (and IVF imperfect), as on real
+  /// data.
+  double background_fraction = 0.10;
+  std::uint64_t seed = 42;
+};
+
+/// Generate base + query vectors per `spec`. Ground truth is NOT computed
+/// here (see ground_truth.hpp) so callers can cache it separately.
+Dataset make_synthetic(const SyntheticSpec& spec);
+
+/// Table III stand-ins at unit scale (see registry.hpp for scaled sizes).
+SyntheticSpec sift_like_spec();     ///< d=128, L2
+SyntheticSpec gist_like_spec();     ///< d=960, L2
+SyntheticSpec glove_like_spec();    ///< d=200, cosine
+SyntheticSpec nytimes_like_spec();  ///< d=256, cosine
+
+}  // namespace algas

@@ -1,0 +1,117 @@
+#include "distance/distance.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace algas {
+
+std::string metric_name(Metric m) {
+  switch (m) {
+    case Metric::kL2: return "L2";
+    case Metric::kInnerProduct: return "InnerProduct";
+    case Metric::kCosine: return "Cosine";
+  }
+  return "unknown";
+}
+
+float l2_sq(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float norm(std::span<const float> a) { return std::sqrt(dot(a, a)); }
+
+void normalize(std::span<float> a) {
+  const float n = norm(a);
+  if (n <= 0.0f) return;
+  const float inv = 1.0f / n;
+  for (auto& v : a) v *= inv;
+}
+
+float cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  const float na = norm(a);
+  const float nb = norm(b);
+  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+float distance(Metric m, std::span<const float> a, std::span<const float> b) {
+  switch (m) {
+    case Metric::kL2: return l2_sq(a, b);
+    case Metric::kInnerProduct: return 1.0f - dot(a, b);
+    case Metric::kCosine: return 1.0f - cosine_similarity(a, b);
+  }
+  return kInfDist;
+}
+
+namespace {
+
+/// Pairwise tree reduction of lane partials — the order a warp shuffle
+/// reduction (offset 16, 8, 4, 2, 1) produces.
+float shuffle_reduce(std::vector<float>& lanes) {
+  for (std::size_t offset = lanes.size() / 2; offset > 0; offset /= 2) {
+    for (std::size_t i = 0; i < offset; ++i) lanes[i] += lanes[i + offset];
+  }
+  return lanes[0];
+}
+
+}  // namespace
+
+float distance_lanes(Metric m, std::span<const float> a,
+                     std::span<const float> b, std::size_t lanes) {
+  assert(a.size() == b.size());
+  assert(is_pow2(lanes));
+  std::vector<float> acc(lanes, 0.0f);
+  std::vector<float> acc2(lanes, 0.0f);  // for cosine norms
+  std::vector<float> acc3(lanes, 0.0f);
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    for (std::size_t i = lane; i < a.size(); i += lanes) {
+      switch (m) {
+        case Metric::kL2: {
+          const float d = a[i] - b[i];
+          acc[lane] += d * d;
+          break;
+        }
+        case Metric::kInnerProduct:
+          acc[lane] += a[i] * b[i];
+          break;
+        case Metric::kCosine:
+          acc[lane] += a[i] * b[i];
+          acc2[lane] += a[i] * a[i];
+          acc3[lane] += b[i] * b[i];
+          break;
+      }
+    }
+  }
+
+  switch (m) {
+    case Metric::kL2:
+      return shuffle_reduce(acc);
+    case Metric::kInnerProduct:
+      return 1.0f - shuffle_reduce(acc);
+    case Metric::kCosine: {
+      const float d = shuffle_reduce(acc);
+      const float na = std::sqrt(shuffle_reduce(acc2));
+      const float nb = std::sqrt(shuffle_reduce(acc3));
+      if (na <= 0.0f || nb <= 0.0f) return 1.0f;
+      return 1.0f - d / (na * nb);
+    }
+  }
+  return kInfDist;
+}
+
+}  // namespace algas

@@ -1,0 +1,47 @@
+// Distance kernels. All metrics map to "smaller is closer" so search code
+// never branches on metric direction.
+//
+// distance_lanes() mirrors the GPU's intra-CTA scheme (Algorithm 1 lines
+// 10-13): each of `lanes` warp lanes accumulates a strided slice of the
+// dimensions and the partials are shuffle-reduced. It is algebraically
+// identical to the scalar kernels up to float reassociation; tests pin the
+// tolerance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace algas {
+
+enum class Metric : std::uint8_t {
+  kL2 = 0,          ///< squared Euclidean distance
+  kInnerProduct,    ///< 1 - <a,b> (vectors need not be normalized)
+  kCosine,          ///< 1 - cos(a,b)
+};
+
+std::string metric_name(Metric m);
+
+float l2_sq(std::span<const float> a, std::span<const float> b);
+float dot(std::span<const float> a, std::span<const float> b);
+float cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// Metric dispatch; smaller result = closer pair.
+float distance(Metric m, std::span<const float> a, std::span<const float> b);
+
+/// Lane-partitioned evaluation: lane i accumulates dimensions i, i+lanes,
+/// i+2*lanes, ... then partials reduce pairwise (shuffle-style). Functional
+/// mirror of the warp kernel; used by tests to validate the parallel
+/// decomposition.
+float distance_lanes(Metric m, std::span<const float> a,
+                     std::span<const float> b, std::size_t lanes);
+
+/// L2 norm of `a`.
+float norm(std::span<const float> a);
+
+/// Normalize in place; zero vectors are left untouched.
+void normalize(std::span<float> a);
+
+}  // namespace algas

@@ -1,0 +1,119 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bitset.hpp"
+#include "common/env.hpp"
+#include "dataset/io.hpp"
+#include "graph/cagra_builder.hpp"
+#include "graph/nsw_builder.hpp"
+
+namespace algas {
+
+std::string graph_kind_name(GraphKind k) {
+  switch (k) {
+    case GraphKind::kNsw: return "NSW";
+    case GraphKind::kCagra: return "CAGRA";
+  }
+  return "unknown";
+}
+
+Graph build_graph(GraphKind kind, const Dataset& ds, const BuildConfig& cfg) {
+  switch (kind) {
+    case GraphKind::kNsw: return build_nsw(ds, cfg);
+    case GraphKind::kCagra: return build_cagra(ds, cfg);
+  }
+  throw std::invalid_argument("unknown graph kind");
+}
+
+Graph load_or_build_graph(GraphKind kind, const Dataset& ds,
+                          const BuildConfig& cfg) {
+  const std::string dir = cache_dir();
+  std::string path;
+  if (!dir.empty()) {
+    std::ostringstream out;
+    out << dir << "/graph_v3_" << graph_kind_name(kind) << "_" << ds.name()
+        << "_n" << ds.num_base() << "_d" << cfg.degree << "_ef"
+        << cfg.ef_construction << ".agr";
+    path = out.str();
+    if (file_exists(path)) return Graph::load(path);
+  }
+  Graph g = build_graph(kind, ds, cfg);
+  if (!path.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec) g.save(path);
+  }
+  return g;
+}
+
+std::vector<std::pair<float, NodeId>> build_beam_search(
+    const Dataset& ds, const Graph& g, std::span<const float> query,
+    std::size_t ef, NodeId entry, std::size_t limit,
+    std::size_t* scored_out) {
+  using Entry = std::pair<float, NodeId>;
+  // Min-heap of frontier candidates, max-heap of current best ef results.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
+  std::priority_queue<Entry> best;
+  Bitset visited(limit);
+  std::size_t scored = 1;
+
+  const float d0 = distance(ds.metric(), query, ds.base_vector(entry));
+  frontier.emplace(d0, entry);
+  best.emplace(d0, entry);
+  visited.set(entry);
+
+  while (!frontier.empty()) {
+    const auto [dist_v, v] = frontier.top();
+    frontier.pop();
+    if (best.size() >= ef && dist_v > best.top().first) break;
+    for (NodeId n : g.neighbors(v)) {
+      if (n == kInvalidNode || n >= limit || visited.test(n)) continue;
+      visited.set(n);
+      const float d = distance(ds.metric(), query, ds.base_vector(n));
+      ++scored;
+      if (best.size() < ef || d < best.top().first) {
+        frontier.emplace(d, n);
+        best.emplace(d, n);
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+  if (scored_out != nullptr) *scored_out = scored;
+
+  std::vector<Entry> out(best.size());
+  for (std::size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+NodeId approximate_medoid(const Dataset& ds) {
+  const std::size_t n = ds.num_base();
+  const std::size_t dim = ds.dim();
+  if (n == 0) return 0;
+  std::vector<float> centroid(dim, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = ds.base_vector(i);
+    for (std::size_t d = 0; d < dim; ++d) centroid[d] += v[d];
+  }
+  for (auto& c : centroid) c /= static_cast<float>(n);
+
+  NodeId best = 0;
+  float best_d = kInfDist;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = distance(ds.metric(), centroid, ds.base_vector(i));
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace algas

@@ -1,0 +1,51 @@
+// Graph builder front-end: the two index types the paper evaluates
+// (NSW-GANNS and CAGRA), a shared build-time beam search, and disk caching.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "graph/graph.hpp"
+
+namespace algas {
+
+enum class GraphKind : std::uint8_t {
+  kNsw = 0,    ///< GANNS-style navigable small world (insertion-built)
+  kCagra,      ///< CAGRA-style fixed out-degree optimized kNN graph
+};
+
+std::string graph_kind_name(GraphKind k);
+
+struct BuildConfig {
+  std::size_t degree = 32;           ///< fixed out-degree of the result
+  std::size_t ef_construction = 64;  ///< build-time beam width
+  std::uint64_t seed = 7;
+};
+
+/// Build the requested index over `ds`.
+Graph build_graph(GraphKind kind, const Dataset& ds, const BuildConfig& cfg);
+
+/// Build or load from ALGAS_CACHE_DIR keyed by dataset identity + config.
+Graph load_or_build_graph(GraphKind kind, const Dataset& ds,
+                          const BuildConfig& cfg);
+
+/// Sequential best-first beam search over a (partial) graph — the build-time
+/// workhorse shared by both builders. Returns up to `ef` (distance, id)
+/// pairs ascending by distance. `limit` restricts the search to node ids
+/// < limit (used during incremental NSW construction). When `scored_out` is
+/// non-null it receives the number of distance evaluations performed (used
+/// by the GPU-construction cost model).
+std::vector<std::pair<float, NodeId>> build_beam_search(
+    const Dataset& ds, const Graph& g, std::span<const float> query,
+    std::size_t ef, NodeId entry, std::size_t limit,
+    std::size_t* scored_out = nullptr);
+
+/// Node whose vector is closest to the dataset centroid — used as the
+/// search entry point by both builders.
+NodeId approximate_medoid(const Dataset& ds);
+
+}  // namespace algas

@@ -1,0 +1,188 @@
+#include "graph/cagra_builder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/thread_pool.hpp"
+#include "graph/nsw_builder.hpp"
+
+namespace algas {
+
+Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
+  const std::size_t n = ds.num_base();
+  Graph g(n, cfg.degree);
+  if (n == 0) return g;
+  if (n == 1) {
+    g.set_entry_point(0);
+    return g;
+  }
+
+  // --- 1. scaffold NSW + kNN lists -------------------------------------
+  BuildConfig scaffold_cfg = cfg;
+  scaffold_cfg.degree = std::min<std::size_t>(cfg.degree, n - 1);
+  const Graph scaffold = build_nsw(ds, scaffold_cfg);
+
+  const std::size_t k = std::min(2 * cfg.degree, n - 1);
+  std::vector<std::vector<std::pair<float, NodeId>>> knn(n);
+  global_pool().parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      auto found = build_beam_search(ds, scaffold, ds.base_vector(v),
+                                     std::max(cfg.ef_construction, k + 1),
+                                     scaffold.entry_point(), n);
+      auto& list = knn[v];
+      list.reserve(k);
+      for (const auto& [d, u] : found) {
+        if (u == static_cast<NodeId>(v)) continue;
+        list.emplace_back(d, u);
+        if (list.size() == k) break;
+      }
+    }
+  });
+
+  // --- 2. rank-based reordering (CAGRA's edge importance) ----------------
+  // Edge (v,u) is weighted by its detourable count: how many closer
+  // neighbors w of v satisfy d(w,u) < d(v,u) — i.e., how many 2-hop routes
+  // dominate the direct edge. Edges are reordered by (count, rank) and the
+  // strongest `degree` survive as forward edges, with ties favouring
+  // nearness. This keeps the true near neighbors (count 0) while demoting
+  // redundant intra-cluster edges, unlike a binary prune.
+  std::vector<std::vector<NodeId>> kept(n), dropped(n);
+  global_pool().parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    std::vector<std::pair<std::uint32_t, std::size_t>> order;  // (count, rank)
+    for (std::size_t v = begin; v < end; ++v) {
+      const auto& list = knn[v];
+      order.clear();
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const auto [d_vu, u] = list[i];
+        std::uint32_t detours = 0;
+        for (std::size_t j = 0; j < i; ++j) {
+          const float d_wu = distance(ds.metric(),
+                                      ds.base_vector(list[j].second),
+                                      ds.base_vector(u));
+          if (d_wu < d_vu) ++detours;
+        }
+        order.emplace_back(detours, i);
+      }
+      std::sort(order.begin(), order.end());
+      auto& keep = kept[v];
+      auto& drop = dropped[v];
+      for (const auto& [count, rank] : order) {
+        if (keep.size() < cfg.degree) {
+          keep.push_back(list[rank].second);
+        } else {
+          drop.push_back(list[rank].second);
+        }
+      }
+    }
+  });
+
+  // --- 3. forward + reverse edges, CAGRA-style half/half ----------------
+  // CAGRA reserves roughly half the row for reverse edges; without them a
+  // pruned kNN graph has poor *directed* reachability from a single entry.
+  std::vector<std::vector<NodeId>> reverse(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : kept[v]) reverse[u].push_back(v);
+  }
+
+  const std::size_t forward_cap = std::max<std::size_t>(1, cfg.degree / 2);
+  for (NodeId v = 0; v < n; ++v) {
+    auto row = g.mutable_neighbors(v);
+    std::size_t slot = 0;
+    auto add = [&](NodeId u, std::size_t cap) {
+      if (slot >= cap || u == v) return;
+      for (std::size_t i = 0; i < slot; ++i) {
+        if (row[i] == u) return;
+      }
+      row[slot++] = u;
+    };
+    for (NodeId u : kept[v]) add(u, forward_cap);
+    for (NodeId u : reverse[v]) add(u, row.size());
+    // Backfill leftover slots with remaining forward candidates.
+    for (NodeId u : kept[v]) add(u, row.size());
+    for (NodeId u : dropped[v]) add(u, row.size());
+  }
+
+  g.set_entry_point(approximate_medoid(ds));
+
+  // --- 4. connectivity augmentation -------------------------------------
+  // A pruned kNN graph of clustered data splits into per-cluster islands;
+  // reverse edges cannot bridge them. Like production CAGRA-style builders,
+  // stitch every unreachable component to its (approximately) nearest
+  // reachable node by replacing that node's tail edge.
+  std::vector<std::uint32_t> in_degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u != kInvalidNode) ++in_degree[u];
+    }
+  }
+
+  Bitset reachable(n);
+  std::deque<NodeId> frontier;
+  auto flood = [&](NodeId start) {
+    frontier.push_back(start);
+    reachable.set(start);
+    while (!frontier.empty()) {
+      const NodeId w = frontier.front();
+      frontier.pop_front();
+      for (NodeId u : g.neighbors(w)) {
+        if (u == kInvalidNode || reachable.test_and_set(u)) continue;
+        frontier.push_back(u);
+      }
+    }
+  };
+
+  // Rerouting an edge can in principle disconnect something else, so run
+  // stitch passes to a fixpoint (converges in a couple of passes because
+  // the sacrificed edge always points at a well-covered target).
+  for (int pass = 0; pass < 16; ++pass) {
+    reachable.clear();
+    frontier.clear();
+    flood(g.entry_point());
+    if (reachable.count() == n) break;
+
+    for (NodeId v = 0; v < n; ++v) {
+      if (reachable.test(v)) continue;
+      // Nearest reachable node to v: a beam search from the entry can only
+      // surface reachable nodes.
+      auto found = build_beam_search(
+          ds, g, ds.base_vector(v),
+          std::max<std::size_t>(cfg.ef_construction, 8), g.entry_point(), n);
+      NodeId bridge = g.entry_point();
+      for (const auto& [d, u] : found) {
+        if (reachable.test(u)) {
+          bridge = u;
+          break;
+        }
+      }
+      // Sacrifice the bridge edge whose target is best covered elsewhere so
+      // rerouting is unlikely to disconnect previously reachable nodes.
+      auto row = g.mutable_neighbors(bridge);
+      std::size_t victim = row.size() - 1;
+      std::uint32_t best_cover = 0;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i] == kInvalidNode) {
+          victim = i;
+          best_cover = std::numeric_limits<std::uint32_t>::max();
+          break;
+        }
+        if (in_degree[row[i]] > best_cover) {
+          best_cover = in_degree[row[i]];
+          victim = i;
+        }
+      }
+      if (row[victim] != kInvalidNode) --in_degree[row[victim]];
+      row[victim] = v;
+      ++in_degree[v];
+      // Mark v's island reachable now so later islands bridge to their own
+      // nearest neighbors instead of piling onto one node.
+      flood(v);
+    }
+  }
+  return g;
+}
+
+}  // namespace algas

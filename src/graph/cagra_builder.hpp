@@ -1,0 +1,18 @@
+// CAGRA-style graph construction [Ootomo et al., ICDE'24], simplified:
+//   1. Build an initial kNN graph (k = 2 x degree) by searching a scaffold
+//      NSW index for every base point.
+//   2. Rank-based pruning: drop edge (v,u) when an earlier (closer) neighbor
+//      w of v satisfies dist(w,u) < dist(v,u) — u is reachable via a detour.
+//   3. Fill remaining row slots with reverse edges, then with the pruned
+//      candidates, closest first.
+// The result is a fixed out-degree graph with the strong-connectivity
+// properties CAGRA's search relies on.
+#pragma once
+
+#include "graph/builder.hpp"
+
+namespace algas {
+
+Graph build_cagra(const Dataset& ds, const BuildConfig& cfg);
+
+}  // namespace algas

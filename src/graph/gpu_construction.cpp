@@ -1,0 +1,145 @@
+#include "graph/gpu_construction.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "graph/neighbor_selection.hpp"
+#include "simgpu/shared_memory.hpp"
+
+namespace algas {
+
+namespace {
+
+/// List-scheduling makespan of `durations` on `capacity` concurrent CTAs.
+double wave_makespan(const std::vector<double>& durations,
+                     std::size_t capacity) {
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      servers;
+  for (std::size_t i = 0; i < capacity; ++i) servers.push(0.0);
+  double end = 0.0;
+  for (double d : durations) {
+    const double free_at = servers.top();
+    servers.pop();
+    servers.push(free_at + d);
+    end = std::max(end, free_at + d);
+  }
+  return end;
+}
+
+/// Full-speed CTA capacity for a construction kernel holding an
+/// ef_construction-sized candidate list per block.
+std::size_t construction_capacity(const GpuBuildConfig& cfg,
+                                  std::size_t dim) {
+  sim::SharedMemoryLayout layout;
+  layout.candidate_entries = next_pow2(cfg.base.ef_construction);
+  layout.expand_entries = next_pow2(cfg.base.degree);
+  layout.dim = dim;
+  std::size_t best = 0;
+  for (std::size_t bpsm = 1; bpsm <= cfg.device.max_blocks_per_sm; ++bpsm) {
+    if (sim::check_occupancy(cfg.device, layout, bpsm, 1024).fits) {
+      best = bpsm;
+    }
+  }
+  return std::max<std::size_t>(
+      1, std::min(best * cfg.device.num_sms, cfg.device.full_speed_ctas()));
+}
+
+/// Modeled cost of one insertion whose search scored `scored` points:
+/// distance work plus the candidate-list maintenance that accompanies it.
+double insert_cost_ns(const GpuBuildConfig& cfg, std::size_t dim,
+                      std::size_t scored) {
+  const sim::CostModel& cm = cfg.cost;
+  const std::size_t rounds =
+      std::max<std::size_t>(1, scored / std::max<std::size_t>(1,
+                                                              cfg.base.degree));
+  const std::size_t ef_pow2 = next_pow2(cfg.base.ef_construction);
+  return cm.distance_round_ns(dim, scored) +
+         static_cast<double>(rounds) *
+             (cm.bitonic_sort_ns(next_pow2(cfg.base.degree)) +
+              cm.bitonic_merge_ns(2 * ef_pow2)) +
+         // Link application: the select-neighbors heuristic evaluates
+         // roughly degree^2 / 2 pairwise distances per inserted node.
+         cm.distance_round_ns(dim, cfg.base.degree * cfg.base.degree / 2);
+}
+
+}  // namespace
+
+GpuBuildResult gpu_build_nsw(const Dataset& ds, const GpuBuildConfig& cfg) {
+  const std::size_t n = ds.num_base();
+  GpuBuildResult out;
+  out.graph = Graph(n, cfg.base.degree);
+  Graph& g = out.graph;
+  if (n == 0) return out;
+  if (n == 1) {
+    g.set_entry_point(0);
+    return out;
+  }
+
+  const std::size_t capacity = construction_capacity(cfg, ds.dim());
+  const std::size_t batch = std::max<std::size_t>(1, cfg.insert_batch);
+  const std::size_t m = std::min(cfg.base.degree, n - 1);
+
+  std::vector<double> durations;
+  std::vector<std::vector<std::pair<float, NodeId>>> found;
+  for (std::size_t begin = 0; begin < n; begin += batch) {
+    const std::size_t end = std::min(begin + batch, n);
+    durations.clear();
+    found.assign(end - begin, {});
+
+    if (begin == 0) {
+      // Bootstrap batch: no prefix graph exists; points score each other
+      // exhaustively (the GPU does this as a brute-force tile kernel).
+      for (std::size_t v = 1; v < end; ++v) {
+        auto& list = found[v];
+        for (std::size_t u = 0; u < v; ++u) {
+          list.emplace_back(distance(ds.metric(), ds.base_vector(v),
+                                     ds.base_vector(u)),
+                            static_cast<NodeId>(u));
+        }
+        std::sort(list.begin(), list.end());
+        if (list.size() > cfg.base.ef_construction) {
+          list.resize(cfg.base.ef_construction);
+        }
+        durations.push_back(insert_cost_ns(cfg, ds.dim(), v));
+      }
+    } else {
+      // One CTA per insertion searches the already-built prefix.
+      for (std::size_t v = begin; v < end; ++v) {
+        std::size_t scored = 0;
+        found[v - begin] = build_beam_search(
+            ds, g, ds.base_vector(v),
+            std::max(cfg.base.ef_construction, m), 0, begin, &scored);
+        out.scored_points += scored;
+        durations.push_back(insert_cost_ns(cfg, ds.dim(), scored));
+      }
+    }
+
+    // Apply the batch's links (order within the batch is the id order, so
+    // results stay deterministic).
+    for (std::size_t v = begin; v < end; ++v) {
+      auto& candidates = found[v - begin];
+      if (candidates.empty()) continue;
+      select_neighbors(ds, g, static_cast<NodeId>(v), candidates);
+      for (NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+        if (u == kInvalidNode) continue;
+        const float d =
+            distance(ds.metric(), ds.base_vector(v), ds.base_vector(u));
+        link(ds, g, u, static_cast<NodeId>(v), d);
+      }
+    }
+
+    out.virtual_build_ns +=
+        cfg.cost.kernel_launch_ns + wave_makespan(durations, capacity);
+    for (double d : durations) out.serial_build_ns += d;
+    ++out.batches;
+  }
+  out.serial_build_ns +=
+      cfg.cost.kernel_launch_ns * static_cast<double>(out.batches);
+
+  g.set_entry_point(approximate_medoid(ds));
+  return out;
+}
+
+}  // namespace algas

@@ -1,0 +1,43 @@
+// GANNS-style batched graph construction on the simulated GPU
+// [Yu et al., ICDE'22].
+//
+// The paper's indexes are "NSW-GANNS" graphs: GANNS's contribution is
+// constructing them on the GPU by inserting points in large batches — every
+// point of a batch searches the already-built prefix concurrently (one CTA
+// per insertion), then the batch's links are applied. This module provides
+// that substrate: the functional output is an NSW graph (quality matching
+// the sequential builder within a small margin, verified by tests), and the
+// build *time* is a virtual-time measurement of the batched schedule on the
+// device — reproducing GANNS's construction-speedup claim in-model.
+#pragma once
+
+#include "graph/builder.hpp"
+#include "simgpu/cost_model.hpp"
+#include "simgpu/device_props.hpp"
+
+namespace algas {
+
+struct GpuBuildConfig {
+  BuildConfig base;
+  /// Insertions dispatched per construction kernel.
+  std::size_t insert_batch = 1024;
+  sim::DeviceProps device = sim::DeviceProps::rtx_a6000();
+  sim::CostModel cost;
+};
+
+struct GpuBuildResult {
+  Graph graph;
+  double virtual_build_ns = 0.0;   ///< wave-scheduled batched construction
+  double serial_build_ns = 0.0;    ///< same work on one CTA (the baseline)
+  std::size_t batches = 0;
+  std::size_t scored_points = 0;   ///< distance evaluations, total
+
+  double speedup() const {
+    return virtual_build_ns > 0.0 ? serial_build_ns / virtual_build_ns : 0.0;
+  }
+};
+
+/// Build an NSW graph with batched GPU insertion.
+GpuBuildResult gpu_build_nsw(const Dataset& ds, const GpuBuildConfig& cfg);
+
+}  // namespace algas

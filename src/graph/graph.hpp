@@ -1,0 +1,65 @@
+// Fixed out-degree proximity graph.
+//
+// Both graph types the paper evaluates (NSW-GANNS and CAGRA) are stored in
+// this GPU-friendly layout: a dense `n x degree` adjacency matrix so a CTA
+// fetches a node's whole neighbor row with one coalesced read. Rows with
+// fewer real neighbors pad with kInvalidNode.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace algas {
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::size_t num_nodes, std::size_t degree)
+      : num_nodes_(num_nodes),
+        degree_(degree),
+        adj_(num_nodes * degree, kInvalidNode) {}
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t degree() const { return degree_; }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj_.data() + static_cast<std::size_t>(v) * degree_, degree_};
+  }
+  std::span<NodeId> mutable_neighbors(NodeId v) {
+    return {adj_.data() + static_cast<std::size_t>(v) * degree_, degree_};
+  }
+
+  /// Count of non-padding neighbors of v.
+  std::size_t valid_degree(NodeId v) const;
+
+  /// Default entry point for searches: the medoid-ish fixed node 0 works
+  /// poorly; builders set this to a computed center.
+  NodeId entry_point() const { return entry_point_; }
+  void set_entry_point(NodeId p) { entry_point_ = p; }
+
+  struct Stats {
+    double avg_degree = 0.0;
+    std::size_t min_degree = 0;
+    std::size_t max_degree = 0;
+    /// Fraction of nodes reachable from the entry point via BFS.
+    double reachable_fraction = 0.0;
+  };
+  Stats stats() const;
+
+  void save(const std::string& path) const;
+  static Graph load(const std::string& path);
+
+  const std::vector<NodeId>& adjacency() const { return adj_; }
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::size_t degree_ = 0;
+  NodeId entry_point_ = 0;
+  std::vector<NodeId> adj_;
+};
+
+}  // namespace algas

@@ -1,0 +1,68 @@
+#include "graph/neighbor_selection.hpp"
+
+#include <algorithm>
+
+namespace algas {
+
+/// Rebuild v's neighbor row from `candidates` (ascending by distance to v)
+/// with the HNSW select-neighbors heuristic: keep a candidate only when it
+/// is closer to v than to every already-kept neighbor. This preserves a mix
+/// of short and long (navigable) edges, which plain closest-first eviction
+/// destroys. Pruned candidates backfill remaining slots.
+void select_neighbors(const Dataset& ds, Graph& g, NodeId v,
+                      std::vector<std::pair<float, NodeId>>& candidates) {
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.second == b.second;
+                               }),
+                   candidates.end());
+
+  auto row = g.mutable_neighbors(v);
+  std::fill(row.begin(), row.end(), kInvalidNode);
+  std::size_t kept = 0;
+  std::vector<std::size_t> pruned;
+  for (std::size_t i = 0; i < candidates.size() && kept < row.size(); ++i) {
+    const auto [d_vu, u] = candidates[i];
+    bool diverse = true;
+    for (std::size_t j = 0; j < kept; ++j) {
+      const float d_wu =
+          distance(ds.metric(), ds.base_vector(row[j]), ds.base_vector(u));
+      if (d_wu < d_vu) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      row[kept++] = u;
+    } else {
+      pruned.push_back(i);
+    }
+  }
+  for (std::size_t i : pruned) {
+    if (kept >= row.size()) break;
+    row[kept++] = candidates[i].second;
+  }
+}
+
+/// Add edge v->u; on overflow re-select v's row with the heuristic.
+void link(const Dataset& ds, Graph& g, NodeId v, NodeId u, float d_vu) {
+  auto row = g.mutable_neighbors(v);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] == u) return;
+    if (row[i] == kInvalidNode) {
+      row[i] = u;
+      return;
+    }
+  }
+  std::vector<std::pair<float, NodeId>> candidates;
+  candidates.reserve(row.size() + 1);
+  candidates.emplace_back(d_vu, u);
+  for (NodeId w : row) {
+    candidates.emplace_back(
+        distance(ds.metric(), ds.base_vector(v), ds.base_vector(w)), w);
+  }
+  select_neighbors(ds, g, v, candidates);
+}
+
+}  // namespace algas

@@ -1,0 +1,24 @@
+// Neighbor-selection heuristics shared by the graph builders.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "graph/graph.hpp"
+
+namespace algas {
+
+/// Rebuild v's neighbor row from `candidates` (will be sorted ascending by
+/// distance to v, deduped) with the HNSW select-neighbors heuristic: keep a
+/// candidate only when it is closer to v than to every already-kept
+/// neighbor — preserving a mix of short and long (navigable) edges. Pruned
+/// candidates backfill remaining slots.
+void select_neighbors(const Dataset& ds, Graph& g, NodeId v,
+                      std::vector<std::pair<float, NodeId>>& candidates);
+
+/// Add edge v->u (distance d_vu); on a full row, re-select v's neighbors
+/// with the heuristic over {current row + u}.
+void link(const Dataset& ds, Graph& g, NodeId v, NodeId u, float d_vu);
+
+}  // namespace algas

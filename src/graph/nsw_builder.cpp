@@ -1,0 +1,41 @@
+#include "graph/nsw_builder.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/neighbor_selection.hpp"
+
+namespace algas {
+
+
+Graph build_nsw(const Dataset& ds, const BuildConfig& cfg) {
+  const std::size_t n = ds.num_base();
+  Graph g(n, cfg.degree);
+  if (n == 0) return g;
+  if (n == 1) {
+    g.set_entry_point(0);
+    return g;
+  }
+
+  // Insert sequentially. The first node is the provisional entry point;
+  // the medoid replaces it at the end.
+  const std::size_t m = std::min(cfg.degree, n - 1);
+  for (NodeId v = 1; v < n; ++v) {
+    auto found = build_beam_search(ds, g, ds.base_vector(v),
+                                   std::max(cfg.ef_construction, m), 0, v);
+    // Connect v to a diverse selection of its beam, then backlink.
+    select_neighbors(ds, g, v, found);
+    for (NodeId u : g.neighbors(v)) {
+      if (u == kInvalidNode) continue;
+      const float d =
+          distance(ds.metric(), ds.base_vector(v), ds.base_vector(u));
+      link(ds, g, u, v, d);
+    }
+  }
+
+  g.set_entry_point(approximate_medoid(ds));
+  return g;
+}
+
+}  // namespace algas

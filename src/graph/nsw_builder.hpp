@@ -1,0 +1,13 @@
+// NSW graph construction in the GANNS style [Yu et al., ICDE'22]: points are
+// inserted one at a time; each new point is connected to its ef_construction
+// beam-search neighborhood, capped at `degree` per row with
+// closest-first replacement on overflow.
+#pragma once
+
+#include "graph/builder.hpp"
+
+namespace algas {
+
+Graph build_nsw(const Dataset& ds, const BuildConfig& cfg);
+
+}  // namespace algas

@@ -1,0 +1,83 @@
+// Per-query measurement records and run-level aggregation: latency
+// distributions, throughput, GPU bubble waste, and the compute/sort time
+// split — the quantities behind Figs 2, 3, 10-17.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "search/intra_cta.hpp"
+#include "search/kv.hpp"
+
+namespace algas::metrics {
+
+struct QueryRecord {
+  std::size_t query_index = 0;
+  std::size_t slot = 0;       ///< slot (dynamic) or batch index (static)
+  SimTime arrival_ns = 0.0;   ///< when the query entered the system
+  SimTime dispatch_ns = 0.0;  ///< when a slot/batch picked it up
+  SimTime gpu_done_ns = 0.0;  ///< when the query's last CTA finished
+  SimTime done_ns = 0.0;      ///< when merged results were delivered
+  std::size_t steps = 0;      ///< expanded points (paper's step count)
+  std::size_t rounds = 0;     ///< maintenance rounds (sorts)
+  search::StepCost gpu_cost;  ///< summed across the query's CTAs
+  std::vector<KV> results;
+
+  SimTime latency_ns() const { return done_ns - arrival_ns; }
+  SimTime service_ns() const { return done_ns - dispatch_ns; }
+};
+
+struct RunSummary {
+  std::size_t queries = 0;
+  double span_ns = 0.0;           ///< first arrival -> last completion
+  double throughput_qps = 0.0;
+  /// End-to-end latency (arrival -> completion; includes queueing).
+  double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  /// Service latency (dispatch -> completion). Closed-loop benches report
+  /// this — it is what the paper's per-query latency figures measure, free
+  /// of the artificial queueing a submit-everything-at-t0 workload adds.
+  double mean_service_us = 0.0;
+  double p50_service_us = 0.0;
+  double p95_service_us = 0.0;
+  double p99_service_us = 0.0;
+  double mean_steps = 0.0;
+  double max_steps = 0.0;
+  /// Fraction of summed GPU search time spent in sorting (Fig 3 / Fig 17).
+  double sort_fraction = 0.0;
+  double compute_fraction = 0.0;
+  /// Batch-bubble waste: idle CTA-time while waiting for the batch's
+  /// slowest query, as a fraction of active CTA-time (§III-A's
+  /// 22.9%-33.7%). Zero unless the engine reports batch idle time.
+  double bubble_waste = 0.0;
+};
+
+class Collector {
+ public:
+  void add(QueryRecord rec);
+  void add_batch_idle(double idle_ns, double active_ns);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<QueryRecord>& records() const { return records_; }
+
+  RunSummary summarize() const;
+
+  /// Sorted per-query service latencies in microseconds (Fig 13's series).
+  std::vector<double> sorted_latencies_us() const;
+
+  /// Per-query step counts (Figs 1, 2).
+  std::vector<double> step_counts() const;
+
+  void clear();
+
+ private:
+  std::vector<QueryRecord> records_;
+  double batch_idle_ns_ = 0.0;
+  double batch_active_ns_ = 0.0;
+};
+
+}  // namespace algas::metrics

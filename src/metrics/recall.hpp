@@ -1,0 +1,26 @@
+// Recall@k: |K_approximate ∩ K_truth| / |K_truth| (§II-A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.hpp"
+#include "search/kv.hpp"
+
+namespace algas::metrics {
+
+/// Recall of one result list against the dataset's ground truth for query q.
+double recall_at_k(const Dataset& ds, std::size_t query_index,
+                   std::span<const KV> results, std::size_t k);
+
+/// Same over plain ids.
+double recall_at_k_ids(const Dataset& ds, std::size_t query_index,
+                       std::span<const NodeId> results, std::size_t k);
+
+/// Mean recall over per-query result lists (results[q] is query q's list).
+double mean_recall(const Dataset& ds,
+                   const std::vector<std::vector<KV>>& results,
+                   std::size_t k);
+
+}  // namespace algas::metrics

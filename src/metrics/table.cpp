@@ -1,0 +1,55 @@
+#include "metrics/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace algas::metrics {
+
+TsvTable::TsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+TsvTable& TsvTable::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+TsvTable& TsvTable::cell(const std::string& v) {
+  rows_.back().push_back(v);
+  return *this;
+}
+
+TsvTable& TsvTable::cell(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  rows_.back().push_back(out.str());
+  return *this;
+}
+
+TsvTable& TsvTable::cell(std::size_t v) {
+  rows_.back().push_back(std::to_string(v));
+  return *this;
+}
+
+void TsvTable::print(std::ostream& out) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out << columns_[i] << (i + 1 == columns_.size() ? '\n' : '\t');
+  }
+  for (const auto& r : rows_) {
+    if (r.size() != columns_.size()) {
+      throw std::logic_error("ragged TSV row");
+    }
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      out << r[i] << (i + 1 == r.size() ? '\n' : '\t');
+    }
+  }
+}
+
+void print_meta(std::ostream& out, const std::string& key,
+                const std::string& value) {
+  out << "# " << key << ": " << value << '\n';
+}
+
+}  // namespace algas::metrics

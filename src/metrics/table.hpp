@@ -1,0 +1,33 @@
+// TSV table printing for the bench harnesses: every bench emits the series
+// the corresponding paper figure plots, one row per point.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace algas::metrics {
+
+class TsvTable {
+ public:
+  explicit TsvTable(std::vector<std::string> columns);
+
+  /// Begin a row; subsequent cell() calls fill it left to right.
+  TsvTable& row();
+  TsvTable& cell(const std::string& v);
+  TsvTable& cell(double v, int precision = 3);
+  TsvTable& cell(std::size_t v);
+
+  /// Write header + rows. Throws std::logic_error on ragged rows.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "# key: value" comment line benches use for run metadata.
+void print_meta(std::ostream& out, const std::string& key,
+                const std::string& value);
+
+}  // namespace algas::metrics

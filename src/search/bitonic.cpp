@@ -1,0 +1,68 @@
+#include "search/bitonic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace algas::search {
+
+namespace {
+
+inline void compare_exchange(KV& a, KV& b) {
+  if (b < a) std::swap(a, b);
+}
+
+}  // namespace
+
+void bitonic_sort(std::span<KV> data) {
+  const std::size_t n = data.size();
+  assert(is_pow2(n) || n == 0);
+  if (n <= 1) return;
+  // Standard iterative bitonic network. Direction is folded into a single
+  // ascending comparator by choosing the partner order per sub-block.
+  for (std::size_t block = 2; block <= n; block <<= 1) {
+    for (std::size_t stride = block >> 1; stride > 0; stride >>= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t partner = i ^ stride;
+        if (partner <= i) continue;
+        const bool ascending = (i & block) == 0;
+        if (ascending) {
+          compare_exchange(data[i], data[partner]);
+        } else {
+          compare_exchange(data[partner], data[i]);
+        }
+      }
+    }
+  }
+}
+
+void bitonic_merge(std::span<KV> data) {
+  const std::size_t n = data.size();
+  assert(is_pow2(n) || n == 0);
+  if (n <= 1) return;
+  for (std::size_t stride = n >> 1; stride > 0; stride >>= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t partner = i ^ stride;
+      if (partner > i) compare_exchange(data[i], data[partner]);
+    }
+  }
+}
+
+void merge_sorted_halves(std::span<KV> data) {
+  const std::size_t n = data.size();
+  assert(is_pow2(n) || n == 0);
+  if (n <= 1) return;
+  std::reverse(data.begin() + static_cast<std::ptrdiff_t>(n / 2), data.end());
+  bitonic_merge(data);
+}
+
+bool is_sorted_kv(std::span<const KV> data) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (data[i] < data[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace algas::search

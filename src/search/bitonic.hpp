@@ -1,0 +1,29 @@
+// Bitonic sorting network over KV arrays — the "parallel-friendly bitonic
+// sort" of §IV-B step 4. Functional mirror of the warp implementation:
+// identical compare-exchange order, so the simulated cost model
+// (CostModel::bitonic_*_ns) and the real data movement agree stage for
+// stage.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "search/kv.hpp"
+
+namespace algas::search {
+
+/// Full bitonic sort, ascending. data.size() must be a power of two.
+void bitonic_sort(std::span<KV> data);
+
+/// Merge step only: `data` must be a bitonic sequence (e.g. an ascending
+/// first half followed by a descending second half). Power-of-two size.
+void bitonic_merge(std::span<KV> data);
+
+/// Merge two ascending sorted halves of `data` (each size n/2) into a fully
+/// ascending array: reverses the second half in place, then merges.
+void merge_sorted_halves(std::span<KV> data);
+
+/// True if data is ascending under KV's ordering.
+bool is_sorted_kv(std::span<const KV> data);
+
+}  // namespace algas::search

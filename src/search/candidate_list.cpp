@@ -1,0 +1,83 @@
+#include "search/candidate_list.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/types.hpp"
+#include "search/bitonic.hpp"
+
+namespace algas::search {
+
+CandidateList::CandidateList(std::size_t capacity_pow2)
+    : entries_(capacity_pow2), scratch_(2 * capacity_pow2) {
+  if (!is_pow2(capacity_pow2)) {
+    throw std::invalid_argument("candidate list capacity must be 2^k");
+  }
+}
+
+void CandidateList::reset() {
+  std::fill(entries_.begin(), entries_.end(), KV::empty());
+}
+
+void CandidateList::seed(KV entry) {
+  // Insert keeping ascending order; list is assumed freshly reset or only
+  // partially filled with seeds (used for entry points only).
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), entry);
+  if (it == entries_.end()) return;
+  std::rotate(it, entries_.end() - 1, entries_.end());
+  *it = entry;
+}
+
+std::size_t CandidateList::first_unchecked() const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const KV& e = entries_[i];
+    if (e.is_empty()) return npos;  // ascending: empties are the tail
+    if (!e.checked()) return i;
+  }
+  return npos;
+}
+
+std::size_t CandidateList::take_unchecked(std::size_t max_count,
+                                          std::span<std::size_t> out_indices) {
+  assert(out_indices.size() >= max_count);
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < entries_.size() && found < max_count; ++i) {
+    KV& e = entries_[i];
+    if (e.is_empty()) break;
+    if (e.checked()) continue;
+    e.mark_checked();
+    out_indices[found++] = i;
+  }
+  return found;
+}
+
+std::size_t CandidateList::merge_sorted(std::span<const KV> expand) {
+  const std::size_t cap = entries_.size();
+  if (expand.size() > cap) {
+    throw std::invalid_argument("expand list larger than candidate list");
+  }
+  assert(is_sorted_kv(expand));
+  // scratch = [candidates ascending | expand ascending padded to L], then
+  // merge_sorted_halves turns the whole 2L buffer ascending.
+  std::copy(entries_.begin(), entries_.end(), scratch_.begin());
+  auto mid = scratch_.begin() + static_cast<std::ptrdiff_t>(cap);
+  std::copy(expand.begin(), expand.end(), mid);
+  std::fill(mid + static_cast<std::ptrdiff_t>(expand.size()), scratch_.end(),
+            KV::empty());
+  merge_sorted_halves(scratch_);
+  std::copy(scratch_.begin(), mid, entries_.begin());
+  return scratch_.size();
+}
+
+std::vector<KV> CandidateList::topk(std::size_t k) const {
+  std::vector<KV> out;
+  out.reserve(std::min(k, entries_.size()));
+  for (const KV& e : entries_) {
+    if (e.is_empty() || out.size() == k) break;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace algas::search

@@ -1,0 +1,54 @@
+// Fixed-capacity sorted candidate list — the kernel's central shared-memory
+// structure. Capacity L is a power of two; entries stay ascending by
+// distance. Maintenance (merging a sorted expand list, keeping the top L) is
+// one reversed-concatenate + bitonic merge, exactly as the kernel does it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "search/kv.hpp"
+
+namespace algas::search {
+
+class CandidateList {
+ public:
+  explicit CandidateList(std::size_t capacity_pow2);
+
+  std::size_t capacity() const { return entries_.size(); }
+
+  void reset();
+
+  /// Seed with one starting point (keeps list sorted).
+  void seed(KV entry);
+
+  /// Index of the best (closest) unchecked entry, or npos when the list is
+  /// exhausted — the search-termination condition.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t first_unchecked() const;
+
+  /// Collect up to `max_count` best unchecked entry indices (ascending by
+  /// distance) and mark them checked. Returns number collected. The beam
+  /// extend step uses max_count = beam width; greedy uses 1.
+  std::size_t take_unchecked(std::size_t max_count,
+                             std::span<std::size_t> out_indices);
+
+  const KV& at(std::size_t i) const { return entries_[i]; }
+
+  /// Merge an ascending-sorted expand list into the candidate list, keeping
+  /// the best L entries. expand.size() must be <= capacity(). Returns the
+  /// network size the merge ran at (for cost accounting).
+  std::size_t merge_sorted(std::span<const KV> expand);
+
+  std::span<const KV> entries() const { return entries_; }
+
+  /// First k non-empty entries (ascending).
+  std::vector<KV> topk(std::size_t k) const;
+
+ private:
+  std::vector<KV> entries_;
+  std::vector<KV> scratch_;  // 2L merge buffer
+};
+
+}  // namespace algas::search

@@ -1,0 +1,23 @@
+// Reference sequential greedy search (Algorithm 1): a single-CTA,
+// beam-width-1 run of the intra-CTA engine, with tracing enabled. This is
+// the instrumented path behind the motivation figures (step distributions,
+// Fig 1/2; compute-vs-sort split, Fig 3; distance convergence, Fig 7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "search/intra_cta.hpp"
+
+namespace algas::search {
+
+struct GreedyResult {
+  std::vector<KV> topk;          ///< ascending
+  SearchStats stats;             ///< includes the Fig 7 distance trace
+};
+
+GreedyResult greedy_search(const Dataset& ds, const Graph& g,
+                           const sim::CostModel& cm, const SearchConfig& cfg,
+                           std::span<const float> query);
+
+}  // namespace algas::search

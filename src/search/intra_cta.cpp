@@ -1,0 +1,136 @@
+#include "search/intra_cta.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "search/bitonic.hpp"
+
+namespace algas::search {
+
+SearchConfig normalize_config(SearchConfig cfg, std::size_t degree) {
+  cfg.candidate_len = next_pow2(std::max(cfg.candidate_len, cfg.topk));
+  // Even a greedy round can produce up to `degree` new points; L must be
+  // able to absorb one expand list.
+  cfg.candidate_len = std::max(cfg.candidate_len, next_pow2(degree));
+  cfg.beam_width = std::max<std::size_t>(cfg.beam_width, 1);
+  // The expand list (beam * degree, rounded to 2^k) must fit inside L so a
+  // single 2L bitonic merge maintains the list.
+  while (cfg.beam_width > 1 &&
+         next_pow2(cfg.beam_width * degree) > cfg.candidate_len) {
+    --cfg.beam_width;
+  }
+  return cfg;
+}
+
+IntraCtaSearch::IntraCtaSearch(const Dataset& ds, const Graph& g,
+                               const sim::CostModel& cm,
+                               const SearchConfig& cfg)
+    : ds_(ds),
+      g_(g),
+      cm_(cm),
+      cfg_(normalize_config(cfg, g.degree())),
+      list_(cfg_.candidate_len),
+      selected_(cfg_.beam_width) {
+  if (ds.num_base() > KV::kMaxNodeId) {
+    throw std::invalid_argument("dataset too large for packed KV ids");
+  }
+  expand_.reserve(cfg_.candidate_len);
+}
+
+void IntraCtaSearch::reset(std::span<const float> query, NodeId entry,
+                           VisitedTable* visited) {
+  assert(visited != nullptr && visited->size() == ds_.num_base());
+  query_ = query;
+  visited_ = visited;
+  list_.reset();
+  done_ = false;
+  diffusing_ = false;
+  stats_ = SearchStats{};
+  pending_ns_ = 0.0;
+
+  // Score and seed the entry point. If another CTA of the same slot already
+  // claimed it, start from an empty list: the first gather would find it
+  // visited anyway and this CTA ends immediately — matching the kernel,
+  // where entry collisions make a CTA redundant.
+  if (!visited_->test_and_set(entry)) {
+    const float d = distance(ds_.metric(), query_, ds_.base_vector(entry));
+    list_.seed(KV::make(d, entry));
+    pending_ns_ = cm_.distance_round_ns(ds_.dim(), 1) + cm_.bitmap_check_ns;
+    ++stats_.scored_points;
+  } else {
+    done_ = true;
+  }
+}
+
+bool IntraCtaSearch::step(StepCost& cost) {
+  if (done_) return false;
+  StepCost c;
+  c.compute_ns += pending_ns_;
+  pending_ns_ = 0.0;
+
+  // --- 1. select candidate(s) to expand --------------------------------
+  const std::size_t want = diffusing_ ? cfg_.beam_width : 1;
+  c.select_ns += cm_.select_ns(cfg_.candidate_len);
+  const std::size_t first = list_.first_unchecked();
+  if (first == CandidateList::npos) {
+    done_ = true;
+    stats_.cost += c;
+    cost = c;
+    return true;  // this round performed the (empty) final scan
+  }
+  if (!diffusing_ && first >= cfg_.offset_beam && cfg_.beam_width > 1) {
+    diffusing_ = true;  // §IV-C: selected offset reached offset_beam
+  }
+  const std::size_t take = diffusing_ ? want : 1;
+  const std::size_t got = list_.take_unchecked(take, selected_);
+  assert(got >= 1);
+
+  // --- 2+3. gather neighbors, filter via bitmap, score ------------------
+  expand_.clear();
+  for (std::size_t s = 0; s < got; ++s) {
+    const KV& sel = list_.at(selected_[s]);
+    if (trace_) stats_.step_distances.push_back(sel.dist);
+    ++stats_.expanded_points;
+    for (NodeId nb : g_.neighbors(sel.id())) {
+      if (nb == kInvalidNode) continue;
+      c.gather_ns += cm_.gather_per_neighbor_ns;
+      c.gather_ns += cm_.bitmap_check_ns;
+      if (visited_->test_and_set(nb)) continue;  // another CTA owns it
+      const float d = distance(ds_.metric(), query_, ds_.base_vector(nb));
+      expand_.push_back(KV::make(d, nb));
+      ++stats_.scored_points;
+    }
+  }
+  c.compute_ns += cm_.distance_round_ns(ds_.dim(), expand_.size());
+
+  // --- 4. one bitonic sort + merge for the whole round -------------------
+  if (!expand_.empty()) {
+    const std::size_t padded = next_pow2(expand_.size());
+    expand_.resize(padded, KV::empty());
+    bitonic_sort(std::span<KV>(expand_));
+    const std::size_t network = list_.merge_sorted(expand_);
+    if (cfg_.full_sort_maintenance) {
+      // GANNS-style: full re-sort of the merged buffer every round.
+      c.sort_ns += cm_.bitonic_sort_ns(network);
+    } else {
+      c.sort_ns += cm_.bitonic_sort_ns(padded);
+      c.sort_ns += cm_.bitonic_merge_ns(network);
+    }
+  }
+
+  ++stats_.rounds;
+  stats_.cost += c;
+  cost = c;
+  return true;
+}
+
+sim::SharedMemoryLayout IntraCtaSearch::shared_memory_layout() const {
+  sim::SharedMemoryLayout layout;
+  layout.candidate_entries = cfg_.candidate_len;
+  layout.expand_entries = next_pow2(cfg_.beam_width * g_.degree());
+  layout.dim = ds_.dim();
+  return layout;
+}
+
+}  // namespace algas::search

@@ -1,0 +1,39 @@
+// Candidate-list entry: (distance, id) with the "checked" flag packed into
+// the id's top bit — the layout the GPU kernels keep in shared memory
+// (8 bytes/entry, see simgpu::kListEntryBytes).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace algas {
+
+struct KV {
+  float dist = kInfDist;
+  std::uint32_t key = kInvalidNode;  // node id | checked flag
+
+  static constexpr std::uint32_t kCheckedBit = 0x80000000u;
+  /// Node ids must stay below this so the flag bit never aliases an id.
+  static constexpr std::uint32_t kMaxNodeId = kCheckedBit - 1;
+
+  static KV empty() { return KV{}; }
+
+  static KV make(float d, NodeId id) {
+    return KV{d, static_cast<std::uint32_t>(id)};
+  }
+
+  bool is_empty() const { return key == kInvalidNode; }
+  NodeId id() const { return key & ~kCheckedBit; }
+  bool checked() const { return (key & kCheckedBit) != 0; }
+  void mark_checked() { key |= kCheckedBit; }
+
+  /// Strict weak ordering: ascending distance, ties by id, empties last.
+  friend bool operator<(const KV& a, const KV& b) {
+    if (a.is_empty() != b.is_empty()) return b.is_empty();
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id() < b.id();
+  }
+};
+
+}  // namespace algas

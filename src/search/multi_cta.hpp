@@ -1,0 +1,46 @@
+// Multi-CTA search (§IV-B): T CTAs cooperate on one query, each with a
+// private candidate list, sharing only the visited table. Entry points are
+// distinct pseudo-random nodes.
+//
+// The DES engines drive per-CTA IntraCtaSearch instances as actors; this
+// module provides entry-point selection plus a synchronous driver
+// (interleaved round-robin stepping, matching what concurrent CTAs do in
+// virtual time) used by tests and the reference path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "search/intra_cta.hpp"
+#include "search/topk_merge.hpp"
+
+namespace algas::search {
+
+/// Choose `count` distinct entry points for (query_index, cta) pairs. The
+/// first entry is the graph's tuned entry point; the rest are splitmix
+/// hashes of (seed, query_index, cta) — the CAGRA-style random entries.
+std::vector<NodeId> select_entry_points(const Graph& g, std::size_t count,
+                                        std::uint64_t seed,
+                                        std::size_t query_index);
+
+struct MultiCtaResult {
+  std::vector<KV> topk;              ///< merged, ascending
+  SearchStats per_cta_total;         ///< summed across CTAs
+  std::vector<double> per_cta_ns;    ///< modeled search time of each CTA
+  std::size_t run_len = 0;           ///< candidate list length per CTA
+  /// Modeled wall time of the slowest CTA — what the slot's latency would
+  /// be with perfectly concurrent CTAs (excludes merge).
+  double critical_path_ns = 0.0;
+  std::size_t rounds_max = 0;
+};
+
+/// Synchronous multi-CTA driver: steps T searches round-robin over a shared
+/// visited table and host-merges the per-CTA lists.
+MultiCtaResult multi_cta_search(const Dataset& ds, const Graph& g,
+                                const sim::CostModel& cm,
+                                const SearchConfig& cfg, std::size_t num_ctas,
+                                std::span<const float> query,
+                                std::size_t query_index, std::uint64_t seed);
+
+}  // namespace algas::search

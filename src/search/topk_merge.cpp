@@ -1,0 +1,48 @@
+#include "search/topk_merge.hpp"
+
+#include <cassert>
+#include <queue>
+#include <unordered_set>
+
+namespace algas::search {
+
+std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
+                                  std::size_t runs, std::size_t run_len,
+                                  std::size_t k) {
+  assert(concat.size() >= runs * run_len);
+
+  // (entry, run, offset) min-heap over run heads — the host's priority
+  // queue from §IV-B step 4.
+  struct Head {
+    KV kv;
+    std::size_t run;
+    std::size_t offset;
+  };
+  auto greater = [](const Head& a, const Head& b) { return b.kv < a.kv; };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(greater);
+
+  for (std::size_t r = 0; r < runs; ++r) {
+    const KV& head = concat[r * run_len];
+    if (run_len > 0 && !head.is_empty()) heap.push({head, r, 0});
+  }
+
+  std::vector<KV> out;
+  out.reserve(k);
+  std::unordered_set<NodeId> seen;
+  while (!heap.empty() && out.size() < k) {
+    Head h = heap.top();
+    heap.pop();
+    if (seen.insert(h.kv.id()).second) {
+      // Strip the checked flag: merged results are plain (dist, id).
+      out.push_back(KV::make(h.kv.dist, h.kv.id()));
+    }
+    const std::size_t next = h.offset + 1;
+    if (next < run_len) {
+      const KV& kv = concat[h.run * run_len + next];
+      if (!kv.is_empty()) heap.push({kv, h.run, next});
+    }
+  }
+  return out;
+}
+
+}  // namespace algas::search

@@ -1,0 +1,27 @@
+// TopK merging of per-CTA candidate lists.
+//
+// ALGAS offloads this to the host CPU (§IV-B "GPU-CPU Cooperation"): the T
+// sorted lists of a slot live in one contiguous block, the host reads them
+// with a single sequential transfer and merges with a bounded priority
+// queue. The CAGRA-style baseline instead merges on the GPU with a
+// divide-and-conquer network; the *functional* result is identical, so both
+// engines call merge_sorted_runs() and differ only in the modeled cost
+// (CostModel::host_topk_merge_ns vs gpu_topk_merge_ns).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "search/kv.hpp"
+
+namespace algas::search {
+
+/// Merge `runs` ascending-sorted runs of length `run_len`, laid out
+/// back-to-back in `concat`, into the k best unique-id entries (ascending).
+/// Empty entries terminate a run.
+std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
+                                  std::size_t runs, std::size_t run_len,
+                                  std::size_t k);
+
+}  // namespace algas::search

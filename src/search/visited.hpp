@@ -1,0 +1,43 @@
+// Visited table shared by all CTAs searching the same query (§IV-B): a
+// bitmap with test-and-set semantics. The set-count is tracked so engines
+// can charge the modeled atomic cost per check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitset.hpp"
+
+namespace algas::search {
+
+class VisitedTable {
+ public:
+  VisitedTable() = default;
+  explicit VisitedTable(std::size_t num_nodes) : bits_(num_nodes) {}
+
+  void resize(std::size_t num_nodes) { bits_.resize(num_nodes); }
+
+  /// Mark node visited; returns true if it was already visited.
+  /// Mirrors the GPU's atomicOr check in step 2 of the search process.
+  bool test_and_set(std::size_t node) {
+    ++checks_;
+    return bits_.test_and_set(node);
+  }
+
+  bool test(std::size_t node) const { return bits_.test(node); }
+
+  void clear() {
+    bits_.clear();
+    checks_ = 0;
+  }
+
+  std::size_t size() const { return bits_.size(); }
+  std::uint64_t checks() const { return checks_; }
+  std::size_t visited_count() const { return bits_.count(); }
+
+ private:
+  Bitset bits_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace algas::search

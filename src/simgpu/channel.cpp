@@ -1,0 +1,42 @@
+#include "simgpu/channel.hpp"
+
+#include <algorithm>
+
+namespace algas::sim {
+
+SimTime Channel::transfer(SimTime now, std::size_t bytes, Xfer purpose) {
+  return post(now, bytes, purpose) + cm_.pcie_latency_ns;
+}
+
+SimTime Channel::post(SimTime now, std::size_t bytes, Xfer purpose) {
+  auto& ctr = counters_[static_cast<std::size_t>(purpose)];
+  ++ctr.transactions;
+  ctr.bytes += bytes;
+
+  const SimTime occupancy = cm_.transfer_occupancy_ns(bytes);
+  busy_time_ += occupancy;
+  // Control-plane writes (state words, doorbells) pipeline freely.
+  if (bytes <= kControlPlaneBytes) return occupancy;
+
+  // Data transfers serialize on link bandwidth: a transaction occupies it
+  // for header + payload time; propagation latency does not block others.
+  const SimTime start = std::max(now, next_free_);
+  next_free_ = start + occupancy;
+  return next_free_ - now;
+}
+
+XferCounters Channel::total() const {
+  XferCounters t;
+  for (const auto& c : counters_) {
+    t.transactions += c.transactions;
+    t.bytes += c.bytes;
+  }
+  return t;
+}
+
+void Channel::reset_counters() {
+  for (auto& c : counters_) c = XferCounters{};
+  busy_time_ = 0.0;
+}
+
+}  // namespace algas::sim

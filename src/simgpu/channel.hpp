@@ -1,0 +1,71 @@
+// Host <-> device channel ("PCIe") model.
+//
+// Transfers serialize on the link: a transaction issued while the link is
+// busy waits for it to free (this contention is what makes many-slot naive
+// state polling a bottleneck, §V-A). Counters are split by purpose so
+// benches can report exactly which traffic the state optimization removes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "simgpu/cost_model.hpp"
+
+namespace algas::sim {
+
+enum class Xfer : std::uint8_t {
+  kStatePoll = 0,   ///< host reads a device-resident state word
+  kStateWrite,      ///< host or device writes a state word across the link
+  kQuery,           ///< query vector dispatch (host -> device)
+  kResult,          ///< per-slot result block (device -> host)
+  kBulk,            ///< index upload, batch query/result blocks
+  kCount_,
+};
+
+struct XferCounters {
+  std::uint64_t transactions = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Channel {
+ public:
+  explicit Channel(const CostModel& cm) : cm_(cm) {}
+
+  /// Transactions at or below this size are control-plane (state words,
+  /// doorbells): they are counted and charged to the issuer, but do not
+  /// serialize on the link — PCIe pipelines small posted writes at rates
+  /// far beyond anything these engines generate.
+  static constexpr std::size_t kControlPlaneBytes = 64;
+
+  /// Issue a read-like transaction at virtual time `now` (the issuer waits
+  /// for the data). Returns the duration the calling actor must charge:
+  /// wait-for-link + occupancy + propagation latency.
+  SimTime transfer(SimTime now, std::size_t bytes, Xfer purpose);
+
+  /// Issue a posted write: the issuer continues once the transaction is on
+  /// the link (wait + occupancy); propagation happens in the background.
+  /// GDRCopy-style state write-throughs and query dispatches use this.
+  SimTime post(SimTime now, std::size_t bytes, Xfer purpose);
+
+  const XferCounters& counters(Xfer purpose) const {
+    return counters_[static_cast<std::size_t>(purpose)];
+  }
+  XferCounters total() const;
+
+  /// Fraction of elapsed time the link was busy in [0, elapsed].
+  double utilization(SimTime elapsed) const {
+    return elapsed <= 0.0 ? 0.0 : busy_time_ / elapsed;
+  }
+
+  void reset_counters();
+
+ private:
+  CostModel cm_;
+  SimTime next_free_ = 0.0;
+  double busy_time_ = 0.0;
+  std::array<XferCounters, static_cast<std::size_t>(Xfer::kCount_)> counters_{};
+};
+
+}  // namespace algas::sim

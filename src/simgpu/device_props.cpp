@@ -1,0 +1,41 @@
+#include "simgpu/device_props.hpp"
+
+namespace algas::sim {
+
+namespace {
+constexpr std::size_t kKiB = 1024;
+}
+
+DeviceProps DeviceProps::rtx_a6000() {
+  DeviceProps p;
+  p.name = "RTX A6000";
+  p.num_sms = 84;
+  p.max_blocks_per_sm = 16;
+  p.max_threads_per_block = 1024;
+  p.warp_size = 32;
+  p.shared_mem_per_block = 48 * kKiB;
+  p.shared_mem_per_sm = 100 * kKiB;
+  p.reserved_shared_mem_per_block = 1 * kKiB;
+  p.shared_mem_per_block_optin = 99 * kKiB;
+  p.full_speed_warps_per_sm = 4;
+  p.clock_ghz = 1.41;
+  return p;
+}
+
+DeviceProps DeviceProps::tiny_test_device() {
+  DeviceProps p;
+  p.name = "tiny-test";
+  p.num_sms = 4;
+  p.max_blocks_per_sm = 4;
+  p.max_threads_per_block = 256;
+  p.warp_size = 32;
+  p.shared_mem_per_block = 16 * kKiB;
+  p.shared_mem_per_sm = 32 * kKiB;
+  p.reserved_shared_mem_per_block = 1 * kKiB;
+  p.shared_mem_per_block_optin = 31 * kKiB;
+  p.full_speed_warps_per_sm = 2;
+  p.clock_ghz = 1.0;
+  return p;
+}
+
+}  // namespace algas::sim

@@ -1,0 +1,46 @@
+// Physical device description (paper Table II). The adaptive tuner (§IV-C)
+// derives slot/CTA/shared-memory configurations from these limits, and the
+// SM scheduler enforces the resulting residency capacity.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace algas::sim {
+
+struct DeviceProps {
+  std::string name = "generic";
+  std::size_t num_sms = 0;                          ///< N_SM
+  std::size_t max_blocks_per_sm = 0;                ///< N_max_block_per_SM
+  std::size_t max_threads_per_block = 0;
+  std::size_t warp_size = 32;
+  std::size_t shared_mem_per_block = 0;             ///< default static limit
+  std::size_t shared_mem_per_sm = 0;                ///< M_per_SM
+  std::size_t reserved_shared_mem_per_block = 0;    ///< M_reserved baseline
+  std::size_t shared_mem_per_block_optin = 0;       ///< sharedMemPerBlockOptin
+  /// Warps one SM executes at full throughput (one per warp scheduler).
+  /// More blocks can be *resident*, but beyond this they timeslice; the
+  /// engines treat it as the full-speed concurrency capacity.
+  std::size_t full_speed_warps_per_sm = 4;
+  double clock_ghz = 1.0;
+
+  /// CTAs (1 warp each) the device executes concurrently at full speed.
+  std::size_t full_speed_ctas() const {
+    return num_sms * full_speed_warps_per_sm;
+  }
+
+  /// The RTX A6000 configuration the paper evaluates on (Table II).
+  static DeviceProps rtx_a6000();
+
+  /// A deliberately small device for tests (4 SMs) so occupancy edge cases
+  /// are reachable with tiny workloads.
+  static DeviceProps tiny_test_device();
+
+  /// Upper bound on simultaneously resident blocks from the block limit
+  /// alone (shared memory may reduce it further; see Tuner).
+  std::size_t max_resident_blocks() const {
+    return num_sms * max_blocks_per_sm;
+  }
+};
+
+}  // namespace algas::sim

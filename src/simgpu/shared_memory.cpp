@@ -1,0 +1,61 @@
+#include "simgpu/shared_memory.hpp"
+
+#include <sstream>
+
+namespace algas::sim {
+
+std::string SharedMemoryLayout::describe() const {
+  std::ostringstream out;
+  out << "candidate[" << candidate_entries << "]=" << candidate_bytes()
+      << "B expand[" << expand_entries << "]=" << expand_bytes()
+      << "B query[" << dim << "]=" << query_bytes()
+      << "B control=" << control_bytes() << "B total=" << total_bytes() << "B";
+  return out.str();
+}
+
+OccupancyCheck check_occupancy(const DeviceProps& dev,
+                               const SharedMemoryLayout& layout,
+                               std::size_t blocks_per_sm,
+                               std::size_t reserved_per_block) {
+  OccupancyCheck res;
+  res.required_per_block = layout.total_bytes();
+
+  if (blocks_per_sm == 0) {
+    res.reason = "blocks_per_sm must be >= 1";
+    return res;
+  }
+  if (blocks_per_sm > dev.max_blocks_per_sm) {
+    std::ostringstream out;
+    out << "blocks_per_sm " << blocks_per_sm << " exceeds device limit "
+        << dev.max_blocks_per_sm;
+    res.reason = out.str();
+    return res;
+  }
+
+  // M_avail_per_block <= M_per_SM / N_block_per_SM - M_reserved_per_block
+  const std::size_t share = dev.shared_mem_per_sm / blocks_per_sm;
+  if (share <= reserved_per_block) {
+    res.reason = "reserved cache consumes the entire per-block share";
+    return res;
+  }
+  std::size_t avail = share - reserved_per_block;
+  // A single block can also never exceed the opt-in per-block maximum.
+  if (avail > dev.shared_mem_per_block_optin) {
+    avail = dev.shared_mem_per_block_optin;
+  }
+  res.blocks_per_sm = blocks_per_sm;
+  res.avail_per_block = avail;
+
+  if (res.required_per_block > avail) {
+    std::ostringstream out;
+    out << "layout needs " << res.required_per_block << "B but only " << avail
+        << "B available per block at " << blocks_per_sm << " blocks/SM";
+    res.reason = out.str();
+    return res;
+  }
+  res.fits = true;
+  res.reason = "ok";
+  return res;
+}
+
+}  // namespace algas::sim

@@ -1,0 +1,60 @@
+#include "simgpu/simulation.hpp"
+
+#include <algorithm>
+
+namespace algas::sim {
+
+void Simulation::schedule(Actor* a, SimTime when) {
+  when = std::max(when, now_);
+  if (a->pending_time_ >= 0.0 && a->pending_time_ <= when) {
+    return;  // an earlier (or equal) wake-up is already queued
+  }
+  ++a->token_;
+  a->pending_time_ = when;
+  queue_.push(Event{when, seq_++, a, a->token_});
+}
+
+void Simulation::cancel(Actor* a) {
+  ++a->token_;  // any queued entry becomes stale
+  a->pending_time_ = -1.0;
+}
+
+bool Simulation::pop_next(Event& ev) {
+  while (!queue_.empty()) {
+    ev = queue_.top();
+    queue_.pop();
+    if (ev.token == ev.actor->token_) return true;  // live entry
+  }
+  return false;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_ && pop_next(ev)) {
+    now_ = ev.time;
+    ev.actor->pending_time_ = -1.0;
+    ++events_processed_;
+    ev.actor->step(*this);
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_ && pop_next(ev)) {
+    if (ev.time > t) {
+      // Put it back; it is still this actor's live event.
+      queue_.push(ev);
+      now_ = t;
+      return;
+    }
+    now_ = ev.time;
+    ev.actor->pending_time_ = -1.0;
+    ++events_processed_;
+    ev.actor->step(*this);
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace algas::sim

@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulation core.
+//
+// Actors (CTAs, host worker threads, batch drivers, workload generators)
+// self-schedule: inside step() an actor performs its next slice of work —
+// executing the *real* algorithm functionally — computes that slice's
+// virtual duration from the CostModel, and reschedules itself. Actors that
+// wait on shared state either poll (reschedule at +poll_interval, exactly
+// like the paper's polling design) or sleep until another actor wakes them
+// via Simulation::schedule().
+//
+// At most one pending event per actor: schedule() coalesces, keeping the
+// earliest requested wake-up. Ties in time break by insertion order, so runs
+// are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace algas::sim {
+
+class Simulation;
+
+/// Base class for everything that consumes virtual time.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Perform the next slice of work at sim.now(); reschedule yourself via
+  /// sim.schedule(this, when) or go dormant by not rescheduling.
+  virtual void step(Simulation& sim) = 0;
+
+  virtual const char* name() const { return "actor"; }
+
+ private:
+  friend class Simulation;
+  std::uint64_t token_ = 0;      // invalidates superseded queue entries
+  SimTime pending_time_ = -1.0;  // < 0 means no pending event
+};
+
+class Simulation {
+ public:
+  /// Schedule (or re-schedule) `a` to step at time `when`. If the actor
+  /// already has an earlier pending event this is a no-op; a later pending
+  /// event is superseded. `when` is clamped to now() — the past is not
+  /// addressable.
+  void schedule(Actor* a, SimTime when);
+
+  /// Remove the actor's pending event, if any.
+  void cancel(Actor* a);
+
+  SimTime now() const { return now_; }
+
+  /// Run until the event queue drains or stop() is called.
+  void run();
+
+  /// Run until virtual time exceeds `t` (events at exactly t still run).
+  void run_until(SimTime t);
+
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Actor* actor;
+    std::uint64_t token;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  bool pop_next(Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace algas::sim

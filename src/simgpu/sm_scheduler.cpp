@@ -1,0 +1,32 @@
+#include "simgpu/sm_scheduler.hpp"
+
+#include <algorithm>
+
+namespace algas::sim {
+
+bool SmScheduler::try_acquire(Simulation& sim, Actor* who) {
+  (void)sim;
+  if (resident_ < capacity_) {
+    ++resident_;
+    // A waiter that got woken and acquired is no longer waiting.
+    auto it = std::find(waiters_.begin(), waiters_.end(), who);
+    if (it != waiters_.end()) waiters_.erase(it);
+    return true;
+  }
+  if (std::find(waiters_.begin(), waiters_.end(), who) == waiters_.end()) {
+    waiters_.push_back(who);
+  }
+  return false;
+}
+
+void SmScheduler::release(Simulation& sim) {
+  if (resident_ == 0) return;
+  --resident_;
+  if (!waiters_.empty()) {
+    Actor* next = waiters_.front();
+    waiters_.pop_front();
+    sim.schedule(next, sim.now());
+  }
+}
+
+}  // namespace algas::sim

@@ -1,0 +1,40 @@
+// SM residency scheduler.
+//
+// A CTA must hold a residency slot to execute. Capacity is the occupancy the
+// tuner computes from DeviceProps + per-block shared memory (§IV-C). When a
+// static-batch baseline launches more CTAs than fit, the surplus queues here
+// and runs in waves — exactly the large-batch queuing effect behind
+// Fig 14/15. The persistent-kernel engine sizes itself to capacity so its
+// CTAs acquire residency once and never release it.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "simgpu/simulation.hpp"
+
+namespace algas::sim {
+
+class SmScheduler {
+ public:
+  explicit SmScheduler(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t resident() const { return resident_; }
+  std::size_t queued() const { return waiters_.size(); }
+
+  /// Try to become resident. On failure the actor is queued and will be
+  /// scheduled (woken) when a slot frees; it must call try_acquire again
+  /// from its step().
+  bool try_acquire(Simulation& sim, Actor* who);
+
+  /// Release a residency slot and wake the longest-waiting CTA, if any.
+  void release(Simulation& sim);
+
+ private:
+  std::size_t capacity_;
+  std::size_t resident_ = 0;
+  std::deque<Actor*> waiters_;
+};
+
+}  // namespace algas::sim

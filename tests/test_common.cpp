@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace algas {
+namespace {
+
+// ---------------- types.hpp ----------------
+
+TEST(Types, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Types, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(4095));
+}
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(128, 32), 4u);
+}
+
+// ---------------- rng.hpp ----------------
+
+TEST(Rng, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, FloatRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit over 1000 draws
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(42);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, Splitmix64Stateless) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+// ---------------- stats.hpp ----------------
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SampleStats, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+}
+
+TEST(SampleStats, EmptySafe) {
+  SampleStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStats, AppendInvalidatesSort) {
+  SampleStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Histogram, BinningAndClamp) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, RejectsBadArgs) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, TsvHasOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const std::string tsv = h.to_tsv();
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 4);
+}
+
+// ---------------- bitset.hpp ----------------
+
+TEST(Bitset, SetTestReset) {
+  Bitset b(200);
+  EXPECT_FALSE(b.test(63));
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(199));
+  EXPECT_FALSE(b.test(0));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, TestAndSetSemantics) {
+  Bitset b(128);
+  EXPECT_FALSE(b.test_and_set(77));
+  EXPECT_TRUE(b.test_and_set(77));
+  EXPECT_TRUE(b.test(77));
+}
+
+TEST(Bitset, ClearResetsAll) {
+  Bitset b(1000);
+  for (std::size_t i = 0; i < 1000; i += 7) b.set(i);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+// ---------------- thread_pool.hpp ----------------
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+// ---------------- env.hpp ----------------
+
+TEST(Env, Fallbacks) {
+  ::unsetenv("ALGAS_TEST_VAR");
+  EXPECT_DOUBLE_EQ(env_double("ALGAS_TEST_VAR", 2.5), 2.5);
+  EXPECT_EQ(env_size("ALGAS_TEST_VAR", 7), 7u);
+  EXPECT_EQ(env_string("ALGAS_TEST_VAR", "x"), "x");
+}
+
+TEST(Env, ParsesValues) {
+  ::setenv("ALGAS_TEST_VAR", "3.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("ALGAS_TEST_VAR", 0.0), 3.25);
+  ::setenv("ALGAS_TEST_VAR", "123", 1);
+  EXPECT_EQ(env_size("ALGAS_TEST_VAR", 0), 123u);
+  ::setenv("ALGAS_TEST_VAR", "junk", 1);
+  EXPECT_DOUBLE_EQ(env_double("ALGAS_TEST_VAR", 9.0), 9.0);
+  ::unsetenv("ALGAS_TEST_VAR");
+}
+
+TEST(Env, ScaleClamped) {
+  ::setenv("ALGAS_SCALE", "10000", 1);
+  EXPECT_DOUBLE_EQ(dataset_scale(), 100.0);
+  ::setenv("ALGAS_SCALE", "0.0001", 1);
+  EXPECT_DOUBLE_EQ(dataset_scale(), 0.01);
+  ::unsetenv("ALGAS_SCALE");
+}
+
+}  // namespace
+}  // namespace algas

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/engine.hpp"
+#include "core/query_manager.hpp"
+#include "core/slot.hpp"
+#include "core/state_sync.hpp"
+#include "core/tuner.hpp"
+#include "test_util.hpp"
+
+namespace algas::core {
+namespace {
+
+// ---------------- slot.hpp ----------------
+
+TEST(Slot, StateNames) {
+  EXPECT_STREQ(slot_state_name(SlotState::kNone), "None");
+  EXPECT_STREQ(slot_state_name(SlotState::kWork), "Work");
+  EXPECT_STREQ(slot_state_name(SlotState::kFinish), "Finish");
+  EXPECT_STREQ(slot_state_name(SlotState::kDone), "Done");
+  EXPECT_STREQ(slot_state_name(SlotState::kQuit), "Quit");
+}
+
+TEST(Slot, Fig5TransitionsLegal) {
+  EXPECT_TRUE(is_legal_transition(SlotState::kNone, SlotState::kWork));
+  EXPECT_TRUE(is_legal_transition(SlotState::kWork, SlotState::kFinish));
+  EXPECT_TRUE(is_legal_transition(SlotState::kFinish, SlotState::kDone));
+  EXPECT_TRUE(is_legal_transition(SlotState::kDone, SlotState::kWork));
+  EXPECT_TRUE(is_legal_transition(SlotState::kDone, SlotState::kQuit));
+  EXPECT_TRUE(is_legal_transition(SlotState::kNone, SlotState::kQuit));
+}
+
+TEST(Slot, IllegalTransitionsRejected) {
+  EXPECT_FALSE(is_legal_transition(SlotState::kWork, SlotState::kWork));
+  EXPECT_FALSE(is_legal_transition(SlotState::kWork, SlotState::kDone));
+  EXPECT_FALSE(is_legal_transition(SlotState::kFinish, SlotState::kWork));
+  EXPECT_FALSE(is_legal_transition(SlotState::kQuit, SlotState::kWork));
+  EXPECT_FALSE(is_legal_transition(SlotState::kNone, SlotState::kFinish));
+}
+
+// ---------------- tuner.hpp ----------------
+
+sim::SharedMemoryLayout small_layout() {
+  sim::SharedMemoryLayout layout;
+  layout.candidate_entries = 128;
+  layout.expand_entries = 64;
+  layout.dim = 128;
+  return layout;
+}
+
+TEST(Tuner, MaximizesParallelismUnderBlockLimit) {
+  TuneInput in;
+  in.device = sim::DeviceProps::rtx_a6000();
+  in.slots = 16;
+  in.layout = small_layout();
+  const auto plan = tune(in);
+  ASSERT_TRUE(plan.ok) << plan.reason;
+  // Block limit alone allows 84*16/16 = 84; shared memory will clamp it.
+  EXPECT_GE(plan.n_parallel, 1u);
+  EXPECT_LE(plan.n_parallel * in.slots, in.device.max_resident_blocks());
+  EXPECT_EQ(plan.total_ctas, plan.n_parallel * in.slots);
+  EXPECT_EQ(plan.threads_per_block, 32u);
+}
+
+TEST(Tuner, RespectsRequestedParallel) {
+  TuneInput in;
+  in.device = sim::DeviceProps::rtx_a6000();
+  in.slots = 16;
+  in.layout = small_layout();
+  in.requested_parallel = 4;
+  const auto plan = tune(in);
+  ASSERT_TRUE(plan.ok);
+  EXPECT_EQ(plan.n_parallel, 4u);
+}
+
+TEST(Tuner, SharedMemoryConstraintHolds) {
+  // Property: for every slot count, the produced plan satisfies
+  // M_avail_per_block >= layout AND blocks/SM consistent with total CTAs.
+  for (std::size_t slots : {1, 2, 4, 8, 16, 32, 64}) {
+    TuneInput in;
+    in.device = sim::DeviceProps::rtx_a6000();
+    in.slots = slots;
+    in.layout = small_layout();
+    const auto plan = tune(in);
+    ASSERT_TRUE(plan.ok) << "slots=" << slots << ": " << plan.reason;
+    EXPECT_GE(plan.avail_per_block, plan.shared_mem_per_block);
+    EXPECT_EQ(plan.blocks_per_sm,
+              ceil_div(plan.total_ctas, in.device.num_sms));
+    const auto occ = sim::check_occupancy(in.device, in.layout,
+                                          plan.blocks_per_sm,
+                                          plan.reserved_per_block);
+    EXPECT_TRUE(occ.fits) << occ.reason;
+  }
+}
+
+TEST(Tuner, BigLayoutReducesParallelism) {
+  // With 64 slots the shared-memory constraint binds for a GIST-sized
+  // layout, forcing N_parallel below the auto cap.
+  TuneInput small_in;
+  small_in.device = sim::DeviceProps::rtx_a6000();
+  small_in.slots = 64;
+  small_in.layout = small_layout();
+
+  TuneInput big_in = small_in;
+  big_in.layout.candidate_entries = 2048;
+  big_in.layout.expand_entries = 1024;
+  big_in.layout.dim = 960;
+
+  const auto small_plan = tune(small_in);
+  const auto big_plan = tune(big_in);
+  ASSERT_TRUE(small_plan.ok);
+  ASSERT_TRUE(big_plan.ok);
+  EXPECT_LT(big_plan.n_parallel, small_plan.n_parallel);
+}
+
+TEST(Tuner, FailsWhenNothingFits) {
+  TuneInput in;
+  in.device = sim::DeviceProps::tiny_test_device();
+  in.slots = 4;
+  in.layout.candidate_entries = 8192;
+  in.layout.expand_entries = 8192;
+  in.layout.dim = 960;
+  const auto plan = tune(in);
+  EXPECT_FALSE(plan.ok);
+  EXPECT_FALSE(plan.reason.empty());
+}
+
+TEST(Tuner, FailsOnTooManySlots) {
+  TuneInput in;
+  in.device = sim::DeviceProps::tiny_test_device();  // 16 resident blocks
+  in.slots = 17;
+  in.layout = small_layout();
+  EXPECT_FALSE(tune(in).ok);
+}
+
+TEST(Tuner, AutoReservedScalesWithDim) {
+  EXPECT_LT(auto_reserved_bytes(128), auto_reserved_bytes(960));
+  EXPECT_GE(auto_reserved_bytes(16), 1024u);
+}
+
+TEST(Tuner, DescribeMentionsPlan) {
+  TuneInput in;
+  in.device = sim::DeviceProps::rtx_a6000();
+  in.slots = 8;
+  in.layout = small_layout();
+  const auto plan = tune(in);
+  ASSERT_TRUE(plan.ok);
+  EXPECT_NE(plan.describe().find("N_parallel="), std::string::npos);
+}
+
+// ---------------- state_sync.hpp ----------------
+
+TEST(StateSync, NaivePollsCrossChannel) {
+  sim::CostModel cm;
+  sim::Channel ch(cm);
+  StateSync sync(&ch, cm, 2, 2, /*mirrored=*/false);
+  double elapsed = 0.0;
+  EXPECT_EQ(sync.host_read(0.0, 0, 0, &elapsed), SlotState::kNone);
+  EXPECT_EQ(ch.counters(sim::Xfer::kStatePoll).transactions, 1u);
+  EXPECT_GT(elapsed, cm.poll_remote_ns * 0.9);
+}
+
+TEST(StateSync, MirroredPollsStayLocal) {
+  sim::CostModel cm;
+  sim::Channel ch(cm);
+  StateSync sync(&ch, cm, 2, 2, /*mirrored=*/true);
+  double elapsed = 0.0;
+  for (int i = 0; i < 100; ++i) sync.host_read(0.0, 0, 0, &elapsed);
+  EXPECT_EQ(ch.counters(sim::Xfer::kStatePoll).transactions, 0u);
+  EXPECT_LT(elapsed, 100 * cm.poll_local_ns * 1.5);
+  EXPECT_EQ(sync.host_polls(), 100u);
+}
+
+TEST(StateSync, WritesCrossOnceInBothModes) {
+  sim::CostModel cm;
+  for (bool mirrored : {false, true}) {
+    sim::Channel ch(cm);
+    StateSync sync(&ch, cm, 1, 1, mirrored);
+    double elapsed = 0.0;
+    sync.host_write(0.0, 0, 0, SlotState::kWork, &elapsed);
+    sync.device_write(0.0, 0, 0, SlotState::kFinish, &elapsed);
+    // Host write always crosses; device write crosses only when mirrored.
+    EXPECT_EQ(ch.counters(sim::Xfer::kStateWrite).transactions,
+              mirrored ? 2u : 1u);
+  }
+}
+
+TEST(StateSync, FullLifecycleAndAllInState) {
+  sim::CostModel cm;
+  sim::Channel ch(cm);
+  StateSync sync(&ch, cm, 1, 3, true);
+  double e = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    sync.host_write(0.0, 0, c, SlotState::kWork, &e);
+  }
+  EXPECT_FALSE(sync.host_all_in_state(0.0, 0, SlotState::kFinish, &e));
+  for (std::size_t c = 0; c < 3; ++c) {
+    sync.device_write(0.0, 0, c, SlotState::kFinish, &e);
+  }
+  EXPECT_TRUE(sync.host_all_in_state(0.0, 0, SlotState::kFinish, &e));
+  EXPECT_EQ(sync.state_transitions(), 6u);
+}
+
+TEST(StateSync, IllegalTransitionThrows) {
+  sim::CostModel cm;
+  sim::Channel ch(cm);
+  StateSync sync(&ch, cm, 1, 1, true);
+  double e = 0.0;
+  EXPECT_THROW(sync.host_write(0.0, 0, 0, SlotState::kFinish, &e),
+               std::logic_error);
+}
+
+// ---------------- query_manager.hpp ----------------
+
+TEST(QueryManager, FifoPopRespectsArrival) {
+  QueryManager qm;
+  qm.push({0, 10.0});
+  qm.push({1, 20.0});
+  EXPECT_FALSE(qm.pop_ready(5.0).has_value());
+  const auto q = qm.pop_ready(15.0);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->query_index, 0u);
+  EXPECT_DOUBLE_EQ(qm.next_arrival(), 20.0);
+  EXPECT_EQ(qm.pending(), 1u);
+}
+
+TEST(QueryManager, RejectsDecreasingArrivals) {
+  QueryManager qm;
+  qm.push({0, 10.0});
+  EXPECT_THROW(qm.push({1, 5.0}), std::invalid_argument);
+}
+
+TEST(QueryManager, EmptyNextArrivalIsInfinite) {
+  QueryManager qm;
+  EXPECT_TRUE(std::isinf(qm.next_arrival()));
+}
+
+// ---------------- engine.hpp ----------------
+
+AlgasConfig tiny_engine_config() {
+  AlgasConfig cfg;
+  cfg.search.topk = 10;
+  cfg.search.candidate_len = 64;
+  cfg.search.beam_width = 2;
+  cfg.search.offset_beam = 16;
+  cfg.slots = 4;
+  cfg.host_threads = 1;
+  cfg.device = sim::DeviceProps::rtx_a6000();
+  return cfg;
+}
+
+TEST(AlgasEngine, CompletesAllQueriesWithGoodRecall) {
+  const auto& world = algas::testing::tiny_world();
+  AlgasEngine engine(world.ds, world.nsw, tiny_engine_config());
+  const auto rep = engine.run_closed_loop(100);
+  EXPECT_EQ(rep.summary.queries, 100u);
+  EXPECT_GT(rep.recall, 0.9);
+  EXPECT_GT(rep.summary.throughput_qps, 0.0);
+  EXPECT_GT(rep.summary.mean_service_us, 0.0);
+  EXPECT_GT(rep.sim_events, 100u);
+}
+
+TEST(AlgasEngine, EveryQueryAnsweredExactlyOnce) {
+  const auto& world = algas::testing::tiny_world();
+  AlgasEngine engine(world.ds, world.nsw, tiny_engine_config());
+  const auto rep = engine.run_closed_loop(60);
+  std::set<std::size_t> seen;
+  for (const auto& r : rep.collector.records()) {
+    EXPECT_TRUE(seen.insert(r.query_index).second);
+    EXPECT_GE(r.dispatch_ns, r.arrival_ns);
+    EXPECT_GT(r.done_ns, r.dispatch_ns);
+    EXPECT_FALSE(r.results.empty());
+  }
+  EXPECT_EQ(seen.size(), 60u);
+}
+
+TEST(AlgasEngine, DeterministicAcrossRuns) {
+  const auto& world = algas::testing::tiny_world();
+  AlgasEngine a(world.ds, world.nsw, tiny_engine_config());
+  AlgasEngine b(world.ds, world.nsw, tiny_engine_config());
+  const auto ra = a.run_closed_loop(40);
+  const auto rb = b.run_closed_loop(40);
+  EXPECT_DOUBLE_EQ(ra.summary.mean_service_us, rb.summary.mean_service_us);
+  EXPECT_EQ(ra.sim_events, rb.sim_events);
+  EXPECT_DOUBLE_EQ(ra.recall, rb.recall);
+}
+
+TEST(AlgasEngine, MirroringEliminatesPollTraffic) {
+  const auto& world = algas::testing::tiny_world();
+  auto cfg = tiny_engine_config();
+  cfg.host_sync = HostSync::kPollMirrored;
+  AlgasEngine mirrored(world.ds, world.nsw, cfg);
+  cfg.host_sync = HostSync::kPollNaive;
+  AlgasEngine naive(world.ds, world.nsw, cfg);
+  const auto rm = mirrored.run_closed_loop(50);
+  const auto rn = naive.run_closed_loop(50);
+  // §V-A: local mirrors remove every cross-channel poll; write-throughs
+  // remain in both modes.
+  EXPECT_EQ(rm.pcie_state_poll_transactions, 0u);
+  EXPECT_GT(rn.pcie_state_poll_transactions, 100u);
+  EXPECT_GT(rm.pcie_state_write_transactions, 0u);
+  // Cheaper polling lets the host react faster: service latency drops.
+  EXPECT_LT(rm.summary.mean_service_us, rn.summary.mean_service_us);
+  // Both deliver the same functional results.
+  EXPECT_DOUBLE_EQ(rm.recall, rn.recall);
+}
+
+TEST(AlgasEngine, BlockingModeCompletesWithInterrupts) {
+  const auto& world = algas::testing::tiny_world();
+  auto cfg = tiny_engine_config();
+  cfg.host_sync = HostSync::kBlocking;
+  AlgasEngine engine(world.ds, world.nsw, cfg);
+  const auto rep = engine.run_closed_loop(50);
+  EXPECT_EQ(rep.summary.queries, 50u);
+  EXPECT_GT(rep.recall, 0.9);
+  // One completion interrupt per query, zero host poll traffic.
+  EXPECT_EQ(rep.interrupts, 50u);
+  EXPECT_EQ(rep.pcie_state_poll_transactions, 0u);
+}
+
+TEST(AlgasEngine, BlockingModeSlowerThanMirroredPolling) {
+  // §V-A: "While using blocking mode can reduce PCIe I/O, its performance
+  // is generally not as good as polling."
+  const auto& world = algas::testing::tiny_world();
+  auto cfg = tiny_engine_config();
+  cfg.host_sync = HostSync::kPollMirrored;
+  AlgasEngine polling(world.ds, world.nsw, cfg);
+  cfg.host_sync = HostSync::kBlocking;
+  AlgasEngine blocking(world.ds, world.nsw, cfg);
+  const auto rp = polling.run_closed_loop(50);
+  const auto rb = blocking.run_closed_loop(50);
+  EXPECT_LT(rp.summary.mean_service_us, rb.summary.mean_service_us);
+  // Blocking produces less channel traffic than even mirrored polling
+  // (no write-throughs from the device side).
+  EXPECT_LE(rb.pcie_state_transactions, rp.pcie_state_transactions);
+  EXPECT_DOUBLE_EQ(rp.recall, rb.recall);  // functionally identical
+}
+
+TEST(AlgasEngine, BlockingModeOpenLoop) {
+  const auto& world = algas::testing::tiny_world();
+  auto cfg = tiny_engine_config();
+  cfg.host_sync = HostSync::kBlocking;
+  AlgasEngine engine(world.ds, world.nsw, cfg);
+  std::vector<PendingQuery> arrivals;
+  for (std::size_t i = 0; i < 20; ++i) {
+    arrivals.push_back({i, static_cast<double>(i) * 100000.0});
+  }
+  const auto rep = engine.run(arrivals);
+  EXPECT_EQ(rep.summary.queries, 20u);
+  for (const auto& r : rep.collector.records()) {
+    EXPECT_GE(r.dispatch_ns, r.arrival_ns);
+  }
+}
+
+TEST(AlgasEngine, HostSyncNames) {
+  EXPECT_STREQ(host_sync_name(HostSync::kPollNaive), "poll-naive");
+  EXPECT_STREQ(host_sync_name(HostSync::kPollMirrored), "poll-mirrored");
+  EXPECT_STREQ(host_sync_name(HostSync::kBlocking), "blocking");
+}
+
+TEST(AlgasEngine, MultipleHostThreadsStillComplete) {
+  const auto& world = algas::testing::tiny_world();
+  auto cfg = tiny_engine_config();
+  cfg.slots = 8;
+  cfg.host_threads = 4;
+  AlgasEngine engine(world.ds, world.nsw, cfg);
+  const auto rep = engine.run_closed_loop(64);
+  EXPECT_EQ(rep.summary.queries, 64u);
+  EXPECT_GT(rep.recall, 0.9);
+}
+
+TEST(AlgasEngine, OpenLoopRespectsArrivals) {
+  const auto& world = algas::testing::tiny_world();
+  AlgasEngine engine(world.ds, world.nsw, tiny_engine_config());
+  std::vector<PendingQuery> arrivals;
+  for (std::size_t i = 0; i < 20; ++i) {
+    arrivals.push_back({i, static_cast<double>(i) * 50000.0});
+  }
+  const auto rep = engine.run(arrivals);
+  EXPECT_EQ(rep.summary.queries, 20u);
+  for (const auto& r : rep.collector.records()) {
+    EXPECT_GE(r.dispatch_ns, r.arrival_ns);
+  }
+}
+
+TEST(AlgasEngine, RejectsUntunableConfig) {
+  const auto& world = algas::testing::tiny_world();
+  auto cfg = tiny_engine_config();
+  cfg.device = sim::DeviceProps::tiny_test_device();
+  cfg.slots = 64;  // 64 > 16 resident blocks
+  EXPECT_THROW(AlgasEngine(world.ds, world.nsw, cfg),
+               std::invalid_argument);
+}
+
+TEST(AlgasEngine, UtilizationIsSane) {
+  const auto& world = algas::testing::tiny_world();
+  AlgasEngine engine(world.ds, world.nsw, tiny_engine_config());
+  const auto rep = engine.run_closed_loop(80);
+  EXPECT_GT(rep.gpu_utilization, 0.0);
+  EXPECT_LE(rep.gpu_utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace algas::core

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/gpu_construction.hpp"
+#include "metrics/recall.hpp"
+#include "search/multi_cta.hpp"
+#include "graph/graph.hpp"
+#include "test_util.hpp"
+
+namespace algas {
+namespace {
+
+// ---------------- graph.hpp ----------------
+
+TEST(Graph, EmptyRowsArePadding) {
+  Graph g(4, 3);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.degree(), 3u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.valid_degree(v), 0u);
+    for (NodeId n : g.neighbors(v)) EXPECT_EQ(n, kInvalidNode);
+  }
+}
+
+TEST(Graph, MutableNeighborsWrite) {
+  Graph g(3, 2);
+  auto row = g.mutable_neighbors(1);
+  row[0] = 2;
+  EXPECT_EQ(g.neighbors(1)[0], 2u);
+  EXPECT_EQ(g.valid_degree(1), 1u);
+}
+
+TEST(Graph, StatsOnRing) {
+  Graph g(5, 2);
+  for (NodeId v = 0; v < 5; ++v) {
+    auto row = g.mutable_neighbors(v);
+    row[0] = (v + 1) % 5;
+    row[1] = (v + 4) % 5;
+  }
+  const auto stats = g.stats();
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 2.0);
+  EXPECT_EQ(stats.min_degree, 2u);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.reachable_fraction, 1.0);
+}
+
+TEST(Graph, StatsDetectDisconnection) {
+  Graph g(4, 1);
+  g.mutable_neighbors(0)[0] = 1;
+  g.mutable_neighbors(1)[0] = 0;
+  // Nodes 2 and 3 are isolated.
+  EXPECT_DOUBLE_EQ(g.stats().reachable_fraction, 0.5);
+}
+
+TEST(Graph, SaveLoadRoundTrip) {
+  Graph g(6, 4);
+  for (NodeId v = 0; v < 6; ++v) {
+    g.mutable_neighbors(v)[0] = (v + 1) % 6;
+  }
+  g.set_entry_point(3);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "algas_graph.agr").string();
+  g.save(path);
+  const Graph loaded = Graph::load(path);
+  EXPECT_EQ(loaded.num_nodes(), 6u);
+  EXPECT_EQ(loaded.degree(), 4u);
+  EXPECT_EQ(loaded.entry_point(), 3u);
+  EXPECT_EQ(loaded.adjacency(), g.adjacency());
+  std::remove(path.c_str());
+}
+
+TEST(Graph, LoadRejectsGarbage) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "algas_garbage.agr").string();
+  {
+    std::ofstream out(path);
+    out << "this is not a graph";
+  }
+  EXPECT_THROW(Graph::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------- builders ----------------
+
+class BuilderTest : public ::testing::TestWithParam<GraphKind> {};
+
+TEST_P(BuilderTest, DegreeBoundsAndNoSelfLoops) {
+  const auto& world = testing::tiny_world();
+  const Graph& g = GetParam() == GraphKind::kNsw ? world.nsw : world.cagra;
+  EXPECT_EQ(g.num_nodes(), world.ds.num_base());
+  EXPECT_EQ(g.degree(), 16u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::set<NodeId> seen;
+    for (NodeId n : g.neighbors(v)) {
+      if (n == kInvalidNode) continue;
+      EXPECT_NE(n, v) << "self loop at " << v;
+      EXPECT_LT(n, g.num_nodes());
+      EXPECT_TRUE(seen.insert(n).second) << "duplicate edge at " << v;
+    }
+  }
+}
+
+TEST_P(BuilderTest, MostlyConnectedAndWellFilled) {
+  const auto& world = testing::tiny_world();
+  const Graph& g = GetParam() == GraphKind::kNsw ? world.nsw : world.cagra;
+  const auto stats = g.stats();
+  EXPECT_GT(stats.avg_degree, 8.0);
+  EXPECT_GT(stats.reachable_fraction, 0.98);
+}
+
+TEST_P(BuilderTest, NeighborsAreActuallyClose) {
+  // A graph edge should land among the closer part of the dataset: the mean
+  // neighbor distance must be far below the mean random-pair distance.
+  const auto& world = testing::tiny_world();
+  const Dataset& ds = world.ds;
+  const Graph& g = GetParam() == GraphKind::kNsw ? world.nsw : world.cagra;
+  double edge_dist = 0.0;
+  std::size_t edges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); v += 37) {
+    for (NodeId n : g.neighbors(v)) {
+      if (n == kInvalidNode) continue;
+      edge_dist += distance(ds.metric(), ds.base_vector(v), ds.base_vector(n));
+      ++edges;
+    }
+  }
+  double rand_dist = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId v = 0; v + 997 < g.num_nodes(); v += 37) {
+    rand_dist +=
+        distance(ds.metric(), ds.base_vector(v), ds.base_vector(v + 997));
+    ++pairs;
+  }
+  EXPECT_LT(edge_dist / static_cast<double>(edges),
+            0.5 * rand_dist / static_cast<double>(pairs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BuilderTest,
+                         ::testing::Values(GraphKind::kNsw,
+                                           GraphKind::kCagra),
+                         [](const auto& info) {
+                           return graph_kind_name(info.param);
+                         });
+
+TEST(Builders, SingleNodeGraph) {
+  Dataset ds("one", 4, Metric::kL2);
+  ds.mutable_base() = {0.0f, 0.0f, 0.0f, 0.0f};
+  BuildConfig cfg;
+  cfg.degree = 4;
+  for (GraphKind kind : {GraphKind::kNsw, GraphKind::kCagra}) {
+    const Graph g = build_graph(kind, ds, cfg);
+    EXPECT_EQ(g.num_nodes(), 1u);
+    EXPECT_EQ(g.valid_degree(0), 0u);
+  }
+}
+
+TEST(Builders, BeamSearchFindsExactNearest) {
+  const auto& world = testing::tiny_world();
+  // Search for base vectors themselves: with a reasonable beam the point
+  // itself must come back first in nearly every case.
+  std::size_t exact = 0;
+  for (NodeId v = 100; v < 120; ++v) {
+    const auto found =
+        build_beam_search(world.ds, world.nsw, world.ds.base_vector(v), 48,
+                          world.nsw.entry_point(), world.nsw.num_nodes());
+    ASSERT_FALSE(found.empty());
+    if (found.front().second == v) {
+      EXPECT_FLOAT_EQ(found.front().first, 0.0f);
+      ++exact;
+    }
+  }
+  EXPECT_GE(exact, 18u);
+}
+
+TEST(Builders, ApproximateMedoidIsCentral) {
+  const auto& world = testing::tiny_world();
+  const NodeId medoid = approximate_medoid(world.ds);
+  ASSERT_LT(medoid, world.ds.num_base());
+  // The medoid must be closer to the centroid than 95% of points; spot
+  // check against a sample.
+  std::vector<float> centroid(world.ds.dim(), 0.0f);
+  for (std::size_t i = 0; i < world.ds.num_base(); ++i) {
+    const auto v = world.ds.base_vector(i);
+    for (std::size_t d = 0; d < centroid.size(); ++d) centroid[d] += v[d];
+  }
+  for (auto& c : centroid) c /= static_cast<float>(world.ds.num_base());
+  const float medoid_d =
+      distance(world.ds.metric(), centroid, world.ds.base_vector(medoid));
+  std::size_t closer = 0;
+  for (NodeId v = 0; v < world.ds.num_base(); v += 11) {
+    if (distance(world.ds.metric(), centroid, world.ds.base_vector(v)) <
+        medoid_d) {
+      ++closer;
+    }
+  }
+  EXPECT_EQ(closer, 0u);
+}
+
+TEST(GpuConstruction, QualityMatchesSequentialBuilder) {
+  const auto& world = testing::tiny_world();
+  GpuBuildConfig cfg;
+  cfg.base.degree = 16;
+  cfg.base.ef_construction = 48;
+  cfg.insert_batch = 256;
+  const auto result = gpu_build_nsw(world.ds, cfg);
+  const auto stats = result.graph.stats();
+  EXPECT_GT(stats.avg_degree, 8.0);
+  EXPECT_GT(stats.reachable_fraction, 0.98);
+  EXPECT_GT(result.batches, 1u);
+  EXPECT_GT(result.scored_points, 0u);
+
+  // Search quality within a small margin of the sequential NSW build.
+  const sim::CostModel cm;
+  search::SearchConfig scfg;
+  scfg.topk = 10;
+  scfg.candidate_len = 64;
+  double gpu_recall = 0.0, seq_recall = 0.0;
+  const std::size_t nq = 50;
+  for (std::size_t q = 0; q < nq; ++q) {
+    const auto rg = search::multi_cta_search(world.ds, result.graph, cm,
+                                             scfg, 2, world.ds.query(q), q, 5);
+    const auto rs = search::multi_cta_search(world.ds, world.nsw, cm, scfg,
+                                             2, world.ds.query(q), q, 5);
+    gpu_recall += metrics::recall_at_k(world.ds, q, rg.topk, 10);
+    seq_recall += metrics::recall_at_k(world.ds, q, rs.topk, 10);
+  }
+  EXPECT_GT(gpu_recall / nq, seq_recall / nq - 0.05);
+}
+
+TEST(GpuConstruction, BatchedBuildIsFasterThanSerial) {
+  // The GANNS claim: batched GPU construction beats one-CTA construction
+  // by roughly the device's concurrency.
+  const auto& world = testing::tiny_world();
+  GpuBuildConfig cfg;
+  cfg.base.degree = 16;
+  cfg.insert_batch = 512;
+  const auto result = gpu_build_nsw(world.ds, cfg);
+  EXPECT_GT(result.speedup(), 10.0);
+  EXPECT_LT(result.virtual_build_ns, result.serial_build_ns);
+}
+
+TEST(GpuConstruction, SmallerBatchesCostMoreLaunches) {
+  const auto& world = testing::tiny_world();
+  GpuBuildConfig small_cfg;
+  small_cfg.base.degree = 16;
+  small_cfg.insert_batch = 128;
+  GpuBuildConfig big_cfg = small_cfg;
+  big_cfg.insert_batch = 1024;
+  const auto small_b = gpu_build_nsw(world.ds, small_cfg);
+  const auto big_b = gpu_build_nsw(world.ds, big_cfg);
+  EXPECT_GT(small_b.batches, big_b.batches);
+}
+
+TEST(GpuConstruction, SingleNodeDataset) {
+  Dataset ds("one", 4, Metric::kL2);
+  ds.mutable_base() = {0.0f, 0.0f, 0.0f, 0.0f};
+  GpuBuildConfig cfg;
+  const auto result = gpu_build_nsw(ds, cfg);
+  EXPECT_EQ(result.graph.num_nodes(), 1u);
+}
+
+TEST(Builders, GraphKindNames) {
+  EXPECT_EQ(graph_kind_name(GraphKind::kNsw), "NSW");
+  EXPECT_EQ(graph_kind_name(GraphKind::kCagra), "CAGRA");
+}
+
+}  // namespace
+}  // namespace algas

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/collector.hpp"
+#include "metrics/recall.hpp"
+#include "metrics/table.hpp"
+#include "test_util.hpp"
+
+namespace algas::metrics {
+namespace {
+
+// ---------------- recall.hpp ----------------
+
+Dataset dataset_with_gt() {
+  Dataset ds("gt", 1, Metric::kL2);
+  ds.mutable_base() = {0.0f, 1.0f, 2.0f, 3.0f};
+  ds.mutable_queries() = {0.1f};
+  // truth for query 0: 0, 1, 2 (k=3)
+  ds.set_ground_truth({0, 1, 2}, 3);
+  return ds;
+}
+
+TEST(Recall, ExactAndPartial) {
+  const Dataset ds = dataset_with_gt();
+  std::vector<KV> perfect{KV::make(0.1f, 0), KV::make(0.9f, 1),
+                          KV::make(1.9f, 2)};
+  EXPECT_DOUBLE_EQ(recall_at_k(ds, 0, perfect, 3), 1.0);
+
+  std::vector<KV> partial{KV::make(0.1f, 0), KV::make(2.9f, 3),
+                          KV::make(1.9f, 2)};
+  EXPECT_DOUBLE_EQ(recall_at_k(ds, 0, partial, 3), 2.0 / 3.0);
+
+  std::vector<KV> wrong{KV::make(2.9f, 3)};
+  EXPECT_DOUBLE_EQ(recall_at_k(ds, 0, wrong, 3), 0.0);
+}
+
+TEST(Recall, OnlyFirstKResultsCount) {
+  const Dataset ds = dataset_with_gt();
+  // Result list longer than k: extras must not inflate recall.
+  std::vector<KV> padded{KV::make(2.9f, 3), KV::make(0.1f, 0),
+                         KV::make(0.9f, 1), KV::make(1.9f, 2)};
+  EXPECT_DOUBLE_EQ(recall_at_k(ds, 0, padded, 2), 0.5);
+}
+
+TEST(Recall, IdsOverload) {
+  const Dataset ds = dataset_with_gt();
+  // truth@2 = {0, 1}; {0, 2} hits one of them.
+  const std::vector<NodeId> ids{0, 2};
+  EXPECT_DOUBLE_EQ(recall_at_k_ids(ds, 0, ids, 2), 0.5);
+  const std::vector<NodeId> exact{1, 0};
+  EXPECT_DOUBLE_EQ(recall_at_k_ids(ds, 0, exact, 2), 1.0);
+}
+
+TEST(Recall, ThrowsWithoutGroundTruth) {
+  Dataset ds("nogt", 1, Metric::kL2);
+  ds.mutable_base() = {0.0f};
+  ds.mutable_queries() = {0.0f};
+  std::vector<KV> res{KV::make(0.0f, 0)};
+  EXPECT_THROW(recall_at_k(ds, 0, res, 1), std::logic_error);
+}
+
+TEST(Recall, ThrowsBeyondGtDepth) {
+  const Dataset ds = dataset_with_gt();
+  std::vector<KV> res{KV::make(0.0f, 0)};
+  EXPECT_THROW(recall_at_k(ds, 0, res, 10), std::invalid_argument);
+}
+
+TEST(Recall, MeanOverQueries) {
+  Dataset ds("gt2", 1, Metric::kL2);
+  ds.mutable_base() = {0.0f, 1.0f};
+  ds.mutable_queries() = {0.0f, 1.0f};
+  ds.set_ground_truth({0, 1}, 1);  // q0 -> 0, q1 -> 1
+  std::vector<std::vector<KV>> results{{KV::make(0.0f, 0)},
+                                       {KV::make(0.0f, 0)}};
+  EXPECT_DOUBLE_EQ(mean_recall(ds, results, 1), 0.5);
+}
+
+// ---------------- collector.hpp ----------------
+
+QueryRecord make_record(std::size_t idx, double arrival, double dispatch,
+                        double done, std::size_t steps) {
+  QueryRecord r;
+  r.query_index = idx;
+  r.arrival_ns = arrival;
+  r.dispatch_ns = dispatch;
+  r.done_ns = done;
+  r.steps = steps;
+  return r;
+}
+
+TEST(Collector, SummaryBasics) {
+  Collector c;
+  c.add(make_record(0, 0.0, 10.0, 1010.0, 30));
+  c.add(make_record(1, 0.0, 20.0, 2020.0, 50));
+  const auto s = c.summarize();
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_DOUBLE_EQ(s.span_ns, 2020.0);
+  EXPECT_NEAR(s.throughput_qps, 2.0 * 1e9 / 2020.0, 1e-6);
+  EXPECT_DOUBLE_EQ(s.mean_latency_us, (1.010 + 2.020) / 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_service_us, (1.000 + 2.000) / 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_steps, 40.0);
+  EXPECT_DOUBLE_EQ(s.max_steps, 50.0);
+}
+
+TEST(Collector, SortFractionFromGpuCost) {
+  Collector c;
+  auto r = make_record(0, 0.0, 0.0, 100.0, 1);
+  r.gpu_cost.compute_ns = 70.0;
+  r.gpu_cost.sort_ns = 30.0;
+  c.add(r);
+  const auto s = c.summarize();
+  EXPECT_DOUBLE_EQ(s.sort_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(s.compute_fraction, 0.7);
+}
+
+TEST(Collector, BubbleWaste) {
+  Collector c;
+  c.add(make_record(0, 0.0, 0.0, 1.0, 1));
+  c.add_batch_idle(25.0, 100.0);
+  EXPECT_DOUBLE_EQ(c.summarize().bubble_waste, 0.25);
+}
+
+TEST(Collector, SortedLatenciesAscending) {
+  Collector c;
+  c.add(make_record(0, 0.0, 0.0, 5000.0, 1));
+  c.add(make_record(1, 0.0, 0.0, 1000.0, 1));
+  c.add(make_record(2, 0.0, 0.0, 3000.0, 1));
+  const auto v = c.sorted_latencies_us();
+  EXPECT_EQ(v, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(Collector, EmptySummaryIsZero) {
+  Collector c;
+  const auto s = c.summarize();
+  EXPECT_EQ(s.queries, 0u);
+  EXPECT_EQ(s.throughput_qps, 0.0);
+}
+
+TEST(Collector, ClearResets) {
+  Collector c;
+  c.add(make_record(0, 0.0, 0.0, 1.0, 1));
+  c.add_batch_idle(10.0, 10.0);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_DOUBLE_EQ(c.summarize().bubble_waste, 0.0);
+}
+
+// ---------------- table.hpp ----------------
+
+TEST(TsvTable, PrintsHeaderAndRows) {
+  TsvTable t({"a", "b", "c"});
+  t.row().cell(std::string("x")).cell(1.23456, 2).cell(std::size_t{7});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(out.str(), "a\tb\tc\nx\t1.23\t7\n");
+}
+
+TEST(TsvTable, RaggedRowThrows) {
+  TsvTable t({"a", "b"});
+  t.row().cell(std::string("only-one"));
+  std::ostringstream out;
+  EXPECT_THROW(t.print(out), std::logic_error);
+}
+
+TEST(TsvTable, MetaComment) {
+  std::ostringstream out;
+  print_meta(out, "dataset", "sift");
+  EXPECT_EQ(out.str(), "# dataset: sift\n");
+}
+
+}  // namespace
+}  // namespace algas::metrics

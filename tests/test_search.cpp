@@ -1,0 +1,494 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metrics/recall.hpp"
+#include "search/bitonic.hpp"
+#include "search/candidate_list.hpp"
+#include "search/greedy.hpp"
+#include "search/intra_cta.hpp"
+#include "search/kv.hpp"
+#include "search/multi_cta.hpp"
+#include "search/topk_merge.hpp"
+#include "search/visited.hpp"
+#include "test_util.hpp"
+
+namespace algas::search {
+namespace {
+
+// ---------------- kv.hpp ----------------
+
+TEST(Kv, FlagPackingRoundTrip) {
+  KV kv = KV::make(1.5f, 12345);
+  EXPECT_EQ(kv.id(), 12345u);
+  EXPECT_FALSE(kv.checked());
+  kv.mark_checked();
+  EXPECT_TRUE(kv.checked());
+  EXPECT_EQ(kv.id(), 12345u);  // id survives the flag
+  EXPECT_FALSE(kv.is_empty());
+  EXPECT_TRUE(KV::empty().is_empty());
+}
+
+TEST(Kv, OrderingEmptiesLast) {
+  const KV a = KV::make(1.0f, 5);
+  const KV b = KV::make(2.0f, 3);
+  const KV e = KV::empty();
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < e);
+  EXPECT_TRUE(b < e);
+  EXPECT_FALSE(e < a);
+}
+
+TEST(Kv, TiesBreakById) {
+  const KV a = KV::make(1.0f, 3);
+  const KV b = KV::make(1.0f, 7);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+// ---------------- bitonic.hpp ----------------
+
+std::vector<KV> random_kvs(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KV> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(KV::make(rng.next_float() * 100.0f,
+                         static_cast<NodeId>(rng.next_below(1 << 20))));
+  }
+  return v;
+}
+
+class BitonicSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicSizes, SortsRandomArrays) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto data = random_kvs(n, seed * 17);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    bitonic_sort(std::span<KV>(data));
+    EXPECT_TRUE(is_sorted_kv(data)) << "n=" << n << " seed=" << seed;
+    // Same multiset: bitonic networks only swap.
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(data[i].key, expect[i].key);
+    }
+  }
+}
+
+TEST_P(BitonicSizes, MergeSortedHalves) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  auto lo = random_kvs(n / 2, 7);
+  auto hi = random_kvs(n / 2, 8);
+  std::sort(lo.begin(), lo.end());
+  std::sort(hi.begin(), hi.end());
+  std::vector<KV> data;
+  data.insert(data.end(), lo.begin(), lo.end());
+  data.insert(data.end(), hi.begin(), hi.end());
+  merge_sorted_halves(std::span<KV>(data));
+  EXPECT_TRUE(is_sorted_kv(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sweep, BitonicSizes,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8, 32, 128,
+                                                        512));
+
+TEST(Bitonic, HandlesDuplicatesAndEmpties) {
+  std::vector<KV> data{KV::empty(), KV::make(1.0f, 2), KV::make(1.0f, 2),
+                       KV::empty()};
+  bitonic_sort(std::span<KV>(data));
+  EXPECT_TRUE(is_sorted_kv(data));
+  EXPECT_EQ(data[0].id(), 2u);
+  EXPECT_TRUE(data[2].is_empty());
+}
+
+// ---------------- candidate_list.hpp ----------------
+
+TEST(CandidateList, RejectsNonPow2) {
+  EXPECT_THROW(CandidateList(24), std::invalid_argument);
+}
+
+TEST(CandidateList, SeedKeepsSorted) {
+  CandidateList list(8);
+  list.reset();
+  list.seed(KV::make(5.0f, 1));
+  list.seed(KV::make(2.0f, 2));
+  list.seed(KV::make(9.0f, 3));
+  EXPECT_EQ(list.at(0).id(), 2u);
+  EXPECT_EQ(list.at(1).id(), 1u);
+  EXPECT_EQ(list.at(2).id(), 3u);
+  EXPECT_TRUE(is_sorted_kv(list.entries()));
+}
+
+TEST(CandidateList, FirstUncheckedAndTake) {
+  CandidateList list(8);
+  list.reset();
+  list.seed(KV::make(1.0f, 10));
+  list.seed(KV::make(2.0f, 20));
+  list.seed(KV::make(3.0f, 30));
+  EXPECT_EQ(list.first_unchecked(), 0u);
+
+  std::vector<std::size_t> idx(2);
+  EXPECT_EQ(list.take_unchecked(2, idx), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+  EXPECT_EQ(list.first_unchecked(), 2u);
+  EXPECT_EQ(list.take_unchecked(2, idx), 1u);
+  EXPECT_EQ(list.first_unchecked(), CandidateList::npos);
+}
+
+TEST(CandidateList, MergeKeepsBestL) {
+  CandidateList list(4);
+  list.reset();
+  list.seed(KV::make(10.0f, 1));
+  list.seed(KV::make(20.0f, 2));
+  std::vector<KV> expand{KV::make(5.0f, 3), KV::make(15.0f, 4),
+                         KV::make(25.0f, 5), KV::make(30.0f, 6)};
+  list.merge_sorted(expand);
+  EXPECT_EQ(list.at(0).id(), 3u);
+  EXPECT_EQ(list.at(1).id(), 1u);
+  EXPECT_EQ(list.at(2).id(), 4u);
+  EXPECT_EQ(list.at(3).id(), 2u);  // 25 and 30 fell off the end
+}
+
+TEST(CandidateList, MergePreservesCheckedFlags) {
+  CandidateList list(4);
+  list.reset();
+  list.seed(KV::make(10.0f, 1));
+  std::vector<std::size_t> idx(1);
+  list.take_unchecked(1, idx);  // mark id 1 checked
+  std::vector<KV> expand{KV::make(5.0f, 2)};
+  list.merge_sorted(expand);
+  EXPECT_EQ(list.at(0).id(), 2u);
+  EXPECT_FALSE(list.at(0).checked());
+  EXPECT_EQ(list.at(1).id(), 1u);
+  EXPECT_TRUE(list.at(1).checked());
+}
+
+TEST(CandidateList, MergeRejectsOversizedExpand) {
+  CandidateList list(4);
+  list.reset();
+  std::vector<KV> expand(8, KV::make(1.0f, 1));
+  EXPECT_THROW(list.merge_sorted(expand), std::invalid_argument);
+}
+
+TEST(CandidateList, TopkSkipsNothingWhenFull) {
+  CandidateList list(4);
+  list.reset();
+  for (NodeId i = 0; i < 4; ++i) {
+    list.seed(KV::make(static_cast<float>(i), i));
+  }
+  const auto top2 = list.topk(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id(), 0u);
+  EXPECT_EQ(top2[1].id(), 1u);
+  EXPECT_EQ(list.topk(100).size(), 4u);
+}
+
+// ---------------- visited.hpp ----------------
+
+TEST(VisitedTable, TestAndSetCounts) {
+  VisitedTable v(100);
+  EXPECT_FALSE(v.test_and_set(5));
+  EXPECT_TRUE(v.test_and_set(5));
+  EXPECT_EQ(v.checks(), 2u);
+  EXPECT_EQ(v.visited_count(), 1u);
+  v.clear();
+  EXPECT_EQ(v.checks(), 0u);
+  EXPECT_FALSE(v.test(5));
+}
+
+// ---------------- intra_cta.hpp ----------------
+
+TEST(IntraCta, NormalizeConfigRaisesListForDegree) {
+  SearchConfig cfg;
+  cfg.candidate_len = 16;
+  cfg.topk = 8;
+  const auto norm = normalize_config(cfg, 64);
+  EXPECT_GE(norm.candidate_len, 64u);
+  EXPECT_TRUE(is_pow2(norm.candidate_len));
+}
+
+TEST(IntraCta, NormalizeConfigShrinksBeam) {
+  SearchConfig cfg;
+  cfg.candidate_len = 64;
+  cfg.beam_width = 8;  // 8 * 32 = 256 > 64: must shrink
+  const auto norm = normalize_config(cfg, 32);
+  EXPECT_LE(next_pow2(norm.beam_width * 32), norm.candidate_len);
+  EXPECT_GE(norm.beam_width, 1u);
+}
+
+TEST(IntraCta, FindsNearestOnTinyWorld) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  cfg.topk = 10;
+  cfg.candidate_len = 64;
+  IntraCtaSearch cta(world.ds, world.nsw, cm, cfg);
+
+  double total_recall = 0.0;
+  const std::size_t nq = 50;
+  for (std::size_t q = 0; q < nq; ++q) {
+    VisitedTable visited(world.ds.num_base());
+    cta.reset(world.ds.query(q), world.nsw.entry_point(), &visited);
+    StepCost cost;
+    while (cta.step(cost)) {
+    }
+    total_recall += metrics::recall_at_k(world.ds, q, cta.results(), 10);
+  }
+  EXPECT_GT(total_recall / nq, 0.9);
+}
+
+TEST(IntraCta, StatsAccumulate) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  cfg.candidate_len = 64;
+  IntraCtaSearch cta(world.ds, world.nsw, cm, cfg);
+  VisitedTable visited(world.ds.num_base());
+  cta.reset(world.ds.query(0), world.nsw.entry_point(), &visited);
+  StepCost cost;
+  while (cta.step(cost)) {
+  }
+  const auto& st = cta.stats();
+  EXPECT_GT(st.rounds, 5u);
+  EXPECT_GT(st.expanded_points, 5u);
+  EXPECT_GT(st.scored_points, st.expanded_points);
+  EXPECT_GT(st.cost.compute_ns, 0.0);
+  EXPECT_GT(st.cost.sort_ns, 0.0);
+  EXPECT_GT(st.cost.select_ns, 0.0);
+}
+
+TEST(IntraCta, TraceRecordsSelectedDistances) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  cfg.candidate_len = 64;
+  IntraCtaSearch cta(world.ds, world.nsw, cm, cfg);
+  cta.enable_trace(true);
+  VisitedTable visited(world.ds.num_base());
+  cta.reset(world.ds.query(3), world.nsw.entry_point(), &visited);
+  StepCost cost;
+  while (cta.step(cost)) {
+  }
+  const auto& trace = cta.stats().step_distances;
+  ASSERT_EQ(trace.size(), cta.stats().expanded_points);
+  // Fig 7 shape: the early phase converges — the last selected distance is
+  // well below the entry distance.
+  EXPECT_LT(trace.back(), trace.front());
+}
+
+TEST(IntraCta, BeamExtendReducesSortRounds) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig greedy;
+  greedy.candidate_len = 128;
+  greedy.beam_width = 1;
+  SearchConfig beam = greedy;
+  beam.beam_width = 4;
+  beam.offset_beam = 8;
+
+  std::size_t greedy_rounds = 0, beam_rounds = 0;
+  double greedy_sort = 0.0, beam_sort = 0.0;
+  for (std::size_t q = 0; q < 30; ++q) {
+    {
+      IntraCtaSearch cta(world.ds, world.nsw, cm, greedy);
+      VisitedTable visited(world.ds.num_base());
+      cta.reset(world.ds.query(q), world.nsw.entry_point(), &visited);
+      StepCost cost;
+      while (cta.step(cost)) {
+      }
+      greedy_rounds += cta.stats().rounds;
+      greedy_sort += cta.stats().cost.sort_ns;
+    }
+    {
+      IntraCtaSearch cta(world.ds, world.nsw, cm, beam);
+      VisitedTable visited(world.ds.num_base());
+      cta.reset(world.ds.query(q), world.nsw.entry_point(), &visited);
+      StepCost cost;
+      while (cta.step(cost)) {
+      }
+      EXPECT_TRUE(cta.in_diffusing_phase());
+      beam_rounds += cta.stats().rounds;
+      beam_sort += cta.stats().cost.sort_ns;
+    }
+  }
+  EXPECT_LT(beam_rounds, greedy_rounds);
+  EXPECT_LT(beam_sort, greedy_sort);
+}
+
+TEST(IntraCta, BeamExtendKeepsRecall) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig beam;
+  beam.topk = 10;
+  beam.candidate_len = 128;
+  beam.beam_width = 4;
+  beam.offset_beam = 8;
+  double total = 0.0;
+  const std::size_t nq = 50;
+  for (std::size_t q = 0; q < nq; ++q) {
+    IntraCtaSearch cta(world.ds, world.nsw, cm, beam);
+    VisitedTable visited(world.ds.num_base());
+    cta.reset(world.ds.query(q), world.nsw.entry_point(), &visited);
+    StepCost cost;
+    while (cta.step(cost)) {
+    }
+    total += metrics::recall_at_k(world.ds, q, cta.results(), 10);
+  }
+  EXPECT_GT(total / nq, 0.88);  // §IV-B: "does not significantly impact"
+}
+
+TEST(IntraCta, VisitedEntryEndsImmediately) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  IntraCtaSearch cta(world.ds, world.nsw, cm, cfg);
+  VisitedTable visited(world.ds.num_base());
+  visited.test_and_set(world.nsw.entry_point());
+  cta.reset(world.ds.query(0), world.nsw.entry_point(), &visited);
+  EXPECT_TRUE(cta.done());
+  StepCost cost;
+  EXPECT_FALSE(cta.step(cost));
+}
+
+// ---------------- topk_merge.hpp ----------------
+
+TEST(TopkMerge, MergesAndDedups) {
+  std::vector<KV> concat{
+      // run 0
+      KV::make(1.0f, 10), KV::make(3.0f, 30), KV::empty(),
+      // run 1 (30 duplicated)
+      KV::make(2.0f, 20), KV::make(3.0f, 30), KV::make(4.0f, 40)};
+  const auto merged = merge_sorted_runs(concat, 2, 3, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id(), 10u);
+  EXPECT_EQ(merged[1].id(), 20u);
+  EXPECT_EQ(merged[2].id(), 30u);
+  EXPECT_EQ(merged[3].id(), 40u);
+}
+
+TEST(TopkMerge, StripsCheckedFlags) {
+  std::vector<KV> concat{KV::make(1.0f, 10)};
+  concat[0].mark_checked();
+  const auto merged = merge_sorted_runs(concat, 1, 1, 1);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_FALSE(merged[0].checked());
+  EXPECT_EQ(merged[0].id(), 10u);
+}
+
+TEST(TopkMerge, EmptyRunsAreFine) {
+  std::vector<KV> concat(6, KV::empty());
+  EXPECT_TRUE(merge_sorted_runs(concat, 2, 3, 4).empty());
+}
+
+TEST(TopkMerge, MatchesStdSortReference) {
+  const std::size_t runs = 4, len = 32;
+  std::vector<KV> concat;
+  for (std::size_t r = 0; r < runs; ++r) {
+    auto run = random_kvs(len, 100 + r);
+    std::sort(run.begin(), run.end());
+    concat.insert(concat.end(), run.begin(), run.end());
+  }
+  const auto merged = merge_sorted_runs(concat, runs, len, 10);
+  auto reference = concat;
+  std::sort(reference.begin(), reference.end());
+  // No duplicate ids in random data (1M id space) with high probability.
+  ASSERT_EQ(merged.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(merged[i].id(), reference[i].id());
+  }
+}
+
+// ---------------- multi_cta.hpp ----------------
+
+TEST(MultiCta, EntryPointsDistinct) {
+  const auto& world = testing::tiny_world();
+  const auto entries = select_entry_points(world.nsw, 8, 42, 3);
+  ASSERT_EQ(entries.size(), 8u);
+  EXPECT_EQ(entries[0], world.nsw.entry_point());
+  std::set<NodeId> unique(entries.begin(), entries.end());
+  EXPECT_EQ(unique.size(), entries.size());
+}
+
+TEST(MultiCta, MoreCtasNeverHurtRecallMuch) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  cfg.topk = 10;
+  cfg.candidate_len = 64;
+  double recall1 = 0.0, recall4 = 0.0;
+  const std::size_t nq = 40;
+  for (std::size_t q = 0; q < nq; ++q) {
+    auto r1 = multi_cta_search(world.ds, world.nsw, cm, cfg, 1,
+                               world.ds.query(q), q, 7);
+    auto r4 = multi_cta_search(world.ds, world.nsw, cm, cfg, 4,
+                               world.ds.query(q), q, 7);
+    recall1 += metrics::recall_at_k(world.ds, q, r1.topk, 10);
+    recall4 += metrics::recall_at_k(world.ds, q, r4.topk, 10);
+  }
+  EXPECT_GT(recall4 / nq, 0.85);
+  EXPECT_GT(recall4 / nq, recall1 / nq - 0.05);
+}
+
+TEST(MultiCta, ReportsPerCtaCosts) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  cfg.candidate_len = 64;
+  const auto res = multi_cta_search(world.ds, world.nsw, cm, cfg, 4,
+                                    world.ds.query(0), 0, 7);
+  ASSERT_EQ(res.per_cta_ns.size(), 4u);
+  for (double d : res.per_cta_ns) EXPECT_GT(d, 0.0);
+  EXPECT_DOUBLE_EQ(
+      res.critical_path_ns,
+      *std::max_element(res.per_cta_ns.begin(), res.per_cta_ns.end()));
+  EXPECT_EQ(res.run_len, 64u);
+}
+
+TEST(MultiCta, SharedVisitedPreventsDuplicateScoring) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  cfg.candidate_len = 64;
+  const auto res = multi_cta_search(world.ds, world.nsw, cm, cfg, 4,
+                                    world.ds.query(1), 1, 7);
+  // Merged topk must have unique ids (dedup would mask double-scoring, so
+  // also check totals: scored points <= dataset size).
+  std::set<NodeId> ids;
+  for (const auto& kv : res.topk) ids.insert(kv.id());
+  EXPECT_EQ(ids.size(), res.topk.size());
+  EXPECT_LE(res.per_cta_total.scored_points, world.ds.num_base());
+}
+
+// ---------------- greedy.hpp ----------------
+
+TEST(Greedy, MatchesSingleCtaResults) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  cfg.topk = 10;
+  cfg.candidate_len = 64;
+  cfg.beam_width = 3;  // greedy_search must override this to 1
+  const auto g = greedy_search(world.ds, world.nsw, cm, cfg,
+                               world.ds.query(2));
+  const auto m = multi_cta_search(world.ds, world.nsw, cm,
+                                  [&] {
+                                    auto c = cfg;
+                                    c.beam_width = 1;
+                                    return c;
+                                  }(),
+                                  1, world.ds.query(2), 2, 7);
+  ASSERT_EQ(g.topk.size(), m.topk.size());
+  for (std::size_t i = 0; i < g.topk.size(); ++i) {
+    EXPECT_EQ(g.topk[i].id(), m.topk[i].id());
+  }
+  EXPECT_FALSE(g.stats.step_distances.empty());
+}
+
+}  // namespace
+}  // namespace algas::search

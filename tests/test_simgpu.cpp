@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simgpu/channel.hpp"
+#include "simgpu/cost_model.hpp"
+#include "simgpu/device_props.hpp"
+#include "simgpu/shared_memory.hpp"
+#include "simgpu/sm_scheduler.hpp"
+#include "simgpu/simulation.hpp"
+
+namespace algas::sim {
+namespace {
+
+// ---------------- simulation.hpp ----------------
+
+/// Records the times at which it stepped; reschedules `repeats` times.
+class ProbeActor : public Actor {
+ public:
+  explicit ProbeActor(double interval = 0.0, int repeats = 0)
+      : interval_(interval), repeats_(repeats) {}
+  void step(Simulation& sim) override {
+    times.push_back(sim.now());
+    if (repeats_-- > 0) sim.schedule(this, sim.now() + interval_);
+  }
+  std::vector<double> times;
+
+ private:
+  double interval_;
+  int repeats_;
+};
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  ProbeActor a, b, c;
+  sim.schedule(&a, 30.0);
+  sim.schedule(&b, 10.0);
+  sim.schedule(&c, 20.0);
+  sim.run();
+  ASSERT_EQ(b.times.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.times[0], 10.0);
+  EXPECT_DOUBLE_EQ(c.times[0], 20.0);
+  EXPECT_DOUBLE_EQ(a.times[0], 30.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulation, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  class Tagger : public Actor {
+   public:
+    Tagger(std::vector<int>& o, int id) : order_(o), id_(id) {}
+    void step(Simulation&) override { order_.push_back(id_); }
+
+   private:
+    std::vector<int>& order_;
+    int id_;
+  };
+  Tagger t1(order, 1), t2(order, 2), t3(order, 3);
+  sim.schedule(&t1, 5.0);
+  sim.schedule(&t2, 5.0);
+  sim.schedule(&t3, 5.0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, ScheduleCoalescesKeepingEarliest) {
+  Simulation sim;
+  ProbeActor a;
+  sim.schedule(&a, 50.0);
+  sim.schedule(&a, 10.0);  // supersedes the later event
+  sim.schedule(&a, 30.0);  // ignored: earlier pending exists
+  sim.run();
+  ASSERT_EQ(a.times.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.times[0], 10.0);
+}
+
+TEST(Simulation, SelfReschedulingActor) {
+  Simulation sim;
+  ProbeActor a(/*interval=*/5.0, /*repeats=*/3);
+  sim.schedule(&a, 0.0);
+  sim.run();
+  EXPECT_EQ(a.times, (std::vector<double>{0.0, 5.0, 10.0, 15.0}));
+}
+
+TEST(Simulation, CancelPreventsStep) {
+  Simulation sim;
+  ProbeActor a;
+  sim.schedule(&a, 10.0);
+  sim.cancel(&a);
+  sim.run();
+  EXPECT_TRUE(a.times.empty());
+}
+
+TEST(Simulation, PastSchedulingClampsToNow) {
+  class Rescheduler : public Actor {
+   public:
+    explicit Rescheduler(ProbeActor* victim) : victim_(victim) {}
+    void step(Simulation& sim) override {
+      sim.schedule(victim_, sim.now() - 100.0);  // the past is clamped
+    }
+
+   private:
+    ProbeActor* victim_;
+  };
+  Simulation sim;
+  ProbeActor victim;
+  Rescheduler r(&victim);
+  sim.schedule(&r, 50.0);
+  sim.run();
+  ASSERT_EQ(victim.times.size(), 1u);
+  EXPECT_DOUBLE_EQ(victim.times[0], 50.0);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  ProbeActor a(10.0, 10);
+  sim.schedule(&a, 0.0);
+  sim.run_until(25.0);
+  EXPECT_EQ(a.times.size(), 3u);  // steps at 0, 10, 20
+  sim.run();                      // drain the rest
+  EXPECT_EQ(a.times.size(), 11u);
+}
+
+// ---------------- channel.hpp ----------------
+
+TEST(Channel, ChargesLatencyPlusOccupancy) {
+  CostModel cm;
+  Channel ch(cm);
+  const double d = ch.transfer(0.0, 2200, Xfer::kQuery);
+  EXPECT_NEAR(d,
+              cm.pcie_latency_ns + cm.pcie_txn_overhead_ns +
+                  2200.0 / cm.pcie_bytes_per_ns,
+              1e-9);
+}
+
+TEST(Channel, DataTransfersSerializeOnOccupancy) {
+  CostModel cm;
+  Channel ch(cm);
+  const std::size_t big = 4096;  // above the control-plane threshold
+  const double occ = cm.transfer_occupancy_ns(big);
+  const double d1 = ch.transfer(0.0, big, Xfer::kBulk);
+  // Issued at the same instant: waits one payload slot, NOT a full latency
+  // (the link pipelines).
+  const double d2 = ch.transfer(0.0, big, Xfer::kBulk);
+  EXPECT_NEAR(d1, cm.pcie_latency_ns + occ, 1e-9);
+  EXPECT_NEAR(d2, cm.pcie_latency_ns + 2.0 * occ, 1e-9);
+}
+
+TEST(Channel, ControlPlaneWritesNeverQueue) {
+  CostModel cm;
+  Channel ch(cm);
+  // A large in-flight transfer books the link...
+  ch.transfer(0.0, 1 << 20, Xfer::kBulk);
+  // ...but a 4-byte state write posts through immediately.
+  const double d = ch.post(0.0, 4, Xfer::kStateWrite);
+  EXPECT_NEAR(d, cm.transfer_occupancy_ns(4), 1e-9);
+}
+
+TEST(Channel, IdleLinkDoesNotQueue) {
+  CostModel cm;
+  Channel ch(cm);
+  ch.transfer(0.0, 4096, Xfer::kBulk);
+  const double d = ch.transfer(10000.0, 4096, Xfer::kBulk);
+  EXPECT_NEAR(d, cm.pcie_latency_ns + cm.transfer_occupancy_ns(4096), 1e-9);
+}
+
+TEST(Channel, CountersSplitByPurpose) {
+  CostModel cm;
+  Channel ch(cm);
+  ch.transfer(0.0, 100, Xfer::kQuery);
+  ch.transfer(0.0, 200, Xfer::kQuery);
+  ch.transfer(0.0, 4, Xfer::kStateWrite);
+  EXPECT_EQ(ch.counters(Xfer::kQuery).transactions, 2u);
+  EXPECT_EQ(ch.counters(Xfer::kQuery).bytes, 300u);
+  EXPECT_EQ(ch.counters(Xfer::kStateWrite).transactions, 1u);
+  EXPECT_EQ(ch.total().transactions, 3u);
+  EXPECT_EQ(ch.total().bytes, 304u);
+  ch.reset_counters();
+  EXPECT_EQ(ch.total().transactions, 0u);
+}
+
+// ---------------- sm_scheduler.hpp ----------------
+
+TEST(SmScheduler, GrantsUpToCapacity) {
+  Simulation sim;
+  SmScheduler sched(2);
+  ProbeActor a, b, c;
+  EXPECT_TRUE(sched.try_acquire(sim, &a));
+  EXPECT_TRUE(sched.try_acquire(sim, &b));
+  EXPECT_FALSE(sched.try_acquire(sim, &c));
+  EXPECT_EQ(sched.resident(), 2u);
+  EXPECT_EQ(sched.queued(), 1u);
+}
+
+TEST(SmScheduler, ReleaseWakesWaiterFifo) {
+  Simulation sim;
+  SmScheduler sched(1);
+  ProbeActor a, b, c;
+  ASSERT_TRUE(sched.try_acquire(sim, &a));
+  EXPECT_FALSE(sched.try_acquire(sim, &b));
+  EXPECT_FALSE(sched.try_acquire(sim, &c));
+  sched.release(sim);  // wakes b (scheduled at now)
+  sim.run();
+  EXPECT_EQ(b.times.size(), 1u);  // b got woken
+  EXPECT_TRUE(c.times.empty());
+  EXPECT_TRUE(sched.try_acquire(sim, &b));  // b retries and wins
+}
+
+TEST(SmScheduler, DoubleEnqueueIsIdempotent) {
+  Simulation sim;
+  SmScheduler sched(0);
+  ProbeActor a;
+  EXPECT_FALSE(sched.try_acquire(sim, &a));
+  EXPECT_FALSE(sched.try_acquire(sim, &a));
+  EXPECT_EQ(sched.queued(), 1u);
+}
+
+// ---------------- device_props / shared_memory ----------------
+
+TEST(DeviceProps, TableIIValues) {
+  const auto dev = DeviceProps::rtx_a6000();
+  EXPECT_EQ(dev.num_sms, 84u);
+  EXPECT_EQ(dev.max_blocks_per_sm, 16u);
+  EXPECT_EQ(dev.max_threads_per_block, 1024u);
+  EXPECT_EQ(dev.warp_size, 32u);
+  EXPECT_EQ(dev.shared_mem_per_block, 48u * 1024);
+  EXPECT_EQ(dev.shared_mem_per_sm, 100u * 1024);
+  EXPECT_EQ(dev.reserved_shared_mem_per_block, 1024u);
+  EXPECT_EQ(dev.shared_mem_per_block_optin, 99u * 1024);
+  EXPECT_EQ(dev.max_resident_blocks(), 84u * 16);
+}
+
+TEST(SharedMemory, LayoutByteMath) {
+  SharedMemoryLayout layout;
+  layout.candidate_entries = 128;
+  layout.expand_entries = 64;
+  layout.dim = 128;
+  EXPECT_EQ(layout.candidate_bytes(), 128u * 8);
+  EXPECT_EQ(layout.expand_bytes(), 64u * 8);
+  EXPECT_EQ(layout.query_bytes(), 128u * 4);
+  EXPECT_EQ(layout.total_bytes(),
+            128u * 8 + 64u * 8 + 128u * 4 + layout.control_bytes());
+}
+
+TEST(SharedMemory, OccupancyFitsSmallLayout) {
+  const auto dev = DeviceProps::rtx_a6000();
+  SharedMemoryLayout layout;
+  layout.candidate_entries = 128;
+  layout.expand_entries = 64;
+  layout.dim = 128;
+  const auto occ = check_occupancy(dev, layout, 8, 1024);
+  EXPECT_TRUE(occ.fits) << occ.reason;
+  EXPECT_EQ(occ.blocks_per_sm, 8u);
+  // 100KiB/8 - 1KiB = 11.5KiB available.
+  EXPECT_EQ(occ.avail_per_block, 100u * 1024 / 8 - 1024);
+}
+
+TEST(SharedMemory, OccupancyRejectsOversizedLayout) {
+  const auto dev = DeviceProps::rtx_a6000();
+  SharedMemoryLayout layout;
+  layout.candidate_entries = 4096;
+  layout.expand_entries = 4096;
+  layout.dim = 960;
+  const auto occ = check_occupancy(dev, layout, 16, 1024);
+  EXPECT_FALSE(occ.fits);
+  EXPECT_NE(occ.reason.find("layout needs"), std::string::npos);
+}
+
+TEST(SharedMemory, OccupancyRejectsBlockLimit) {
+  const auto dev = DeviceProps::rtx_a6000();
+  SharedMemoryLayout layout;
+  layout.candidate_entries = 32;
+  layout.dim = 16;
+  EXPECT_FALSE(check_occupancy(dev, layout, 17, 1024).fits);
+  EXPECT_FALSE(check_occupancy(dev, layout, 0, 1024).fits);
+}
+
+TEST(SharedMemory, OptinCapsAvailability) {
+  const auto dev = DeviceProps::rtx_a6000();
+  SharedMemoryLayout layout;
+  layout.candidate_entries = 32;
+  layout.dim = 16;
+  const auto occ = check_occupancy(dev, layout, 1, 0);
+  EXPECT_TRUE(occ.fits);
+  EXPECT_EQ(occ.avail_per_block, dev.shared_mem_per_block_optin);
+}
+
+// ---------------- cost_model.hpp ----------------
+
+TEST(CostModel, DistanceScalesWithDimChunks) {
+  CostModel cm;
+  // 128 dims = 4 chunks of 32; 960 dims = 30 chunks.
+  const double d128 = cm.distance_round_ns(128, 10);
+  const double d960 = cm.distance_round_ns(960, 10);
+  EXPECT_GT(d960, d128);
+  EXPECT_NEAR(d128, 10 * (cm.dist_base_ns + 4 * cm.dist_chunk_ns), 1e-9);
+}
+
+TEST(CostModel, BitonicSortStageCount) {
+  CostModel cm;
+  // n=64: k=6 -> 21 stages, 1 wavefront of 32 pairs each.
+  EXPECT_NEAR(cm.bitonic_sort_ns(64), 21 * cm.sort_wavefront_ns, 1e-9);
+  // Merge of 64: 6 stages.
+  EXPECT_NEAR(cm.bitonic_merge_ns(64), 6 * cm.sort_wavefront_ns, 1e-9);
+  EXPECT_EQ(cm.bitonic_sort_ns(1), 0.0);
+}
+
+TEST(CostModel, GpuMergeMoreExpensiveThanHostMerge) {
+  CostModel cm;
+  // The §III-B motivation: cross-CTA global-memory merge is costly.
+  EXPECT_GT(cm.gpu_topk_merge_ns(8, 128), cm.host_topk_merge_ns(8, 16));
+  EXPECT_EQ(cm.gpu_topk_merge_ns(1, 128), 0.0);
+}
+
+}  // namespace
+}  // namespace algas::sim

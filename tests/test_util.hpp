@@ -1,0 +1,47 @@
+// Shared fixtures: tiny deterministic datasets + graphs that keep unit
+// tests fast while exercising real search behaviour.
+#pragma once
+
+#include <memory>
+
+#include "dataset/dataset.hpp"
+#include "dataset/ground_truth.hpp"
+#include "dataset/synthetic.hpp"
+#include "graph/builder.hpp"
+
+namespace algas::testing {
+
+struct TinyWorld {
+  Dataset ds;
+  Graph nsw;
+  Graph cagra;
+};
+
+/// ~2000 points, 16 dims, 200 queries, gt@32 — built once per process.
+inline const TinyWorld& tiny_world(Metric metric = Metric::kL2) {
+  static auto make = [](Metric m) {
+    auto world = std::make_unique<TinyWorld>();
+    SyntheticSpec spec;
+    spec.name = m == Metric::kL2 ? "tiny-l2" : "tiny-cos";
+    spec.num_base = 2000;
+    spec.num_queries = 200;
+    spec.dim = 16;
+    spec.metric = m;
+    spec.clusters = 24;
+    spec.spread = 0.16;
+    spec.seed = 1234;
+    world->ds = make_synthetic(spec);
+    compute_ground_truth(world->ds, 32);
+    BuildConfig cfg;
+    cfg.degree = 16;
+    cfg.ef_construction = 48;
+    world->nsw = build_graph(GraphKind::kNsw, world->ds, cfg);
+    world->cagra = build_graph(GraphKind::kCagra, world->ds, cfg);
+    return world;
+  };
+  static std::unique_ptr<TinyWorld> l2 = make(Metric::kL2);
+  static std::unique_ptr<TinyWorld> cos = make(Metric::kCosine);
+  return metric == Metric::kL2 ? *l2 : *cos;
+}
+
+}  // namespace algas::testing

@@ -1,0 +1,249 @@
+// algas_cli — operational front-end for the library.
+//
+//   algas_cli gen    --name sift --n 20000 --q 200 --out ds.abin
+//   algas_cli gt     --dataset ds.abin --k 100 --out ds.abin
+//   algas_cli import --name my --base b.fvecs --query q.fvecs
+//                    [--gt gt.ivecs] [--metric l2|cosine|ip] --out ds.abin
+//   algas_cli build  --dataset ds.abin --kind nsw|cagra --degree 32
+//                    [--ef 64] --out graph.agr
+//   algas_cli stats  --dataset ds.abin [--graph graph.agr]
+//   algas_cli search --dataset ds.abin --graph graph.agr [--engine algas|
+//                    cagra|ganns|ivf] [--topk 16] [--list 128] [--slots 16]
+//                    [--nparallel 4] [--beam 4] [--queries N] [--sync
+//                    mirrored|naive|blocking] [--nprobe 8]
+//
+// Every command prints a short human-readable report to stdout.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algas.hpp"
+
+using namespace algas;
+
+namespace {
+
+/// Tiny --key value parser; flags are required unless a default is given.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::invalid_argument(std::string("expected flag, got ") +
+                                    argv[i]);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if (argc >= 3 && (argc - 2) % 2 != 0) {
+      throw std::invalid_argument("flags must come in --key value pairs");
+    }
+  }
+
+  std::string get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::invalid_argument("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+  std::string get_or(const std::string& key, const std::string& dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+
+  std::size_t get_size(const std::string& key, std::size_t dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? dflt
+               : static_cast<std::size_t>(std::strtoull(
+                     it->second.c_str(), nullptr, 10));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Metric parse_metric(const std::string& s) {
+  if (s == "l2") return Metric::kL2;
+  if (s == "cosine") return Metric::kCosine;
+  if (s == "ip") return Metric::kInnerProduct;
+  throw std::invalid_argument("unknown metric: " + s);
+}
+
+GraphKind parse_kind(const std::string& s) {
+  if (s == "nsw") return GraphKind::kNsw;
+  if (s == "cagra") return GraphKind::kCagra;
+  throw std::invalid_argument("unknown graph kind: " + s);
+}
+
+core::HostSync parse_sync(const std::string& s) {
+  if (s == "mirrored") return core::HostSync::kPollMirrored;
+  if (s == "naive") return core::HostSync::kPollNaive;
+  if (s == "blocking") return core::HostSync::kBlocking;
+  throw std::invalid_argument("unknown sync mode: " + s);
+}
+
+int cmd_gen(const Args& args) {
+  const std::string name = args.get("name");
+  SyntheticSpec spec;
+  if (name == "sift") spec = sift_like_spec();
+  else if (name == "gist") spec = gist_like_spec();
+  else if (name == "glove") spec = glove_like_spec();
+  else if (name == "nytimes") spec = nytimes_like_spec();
+  else throw std::invalid_argument("unknown generator: " + name);
+  spec.num_base = args.get_size("n", 20000);
+  spec.num_queries = args.get_size("q", 200);
+  const Dataset ds = make_synthetic(spec);
+  save_dataset(ds, args.get("out"));
+  std::printf("wrote %s: %s\n", args.get("out").c_str(),
+              ds.describe().c_str());
+  return 0;
+}
+
+int cmd_gt(const Args& args) {
+  Dataset ds = load_dataset(args.get("dataset"));
+  compute_ground_truth(ds, args.get_size("k", 100));
+  save_dataset(ds, args.get("out"));
+  std::printf("attached gt@%zu: %s\n", ds.gt_k(), ds.describe().c_str());
+  return 0;
+}
+
+int cmd_import(const Args& args) {
+  const Dataset ds = load_texmex(
+      args.get("name"), args.get("base"), args.get("query"),
+      args.get_or("gt", ""), parse_metric(args.get_or("metric", "l2")));
+  save_dataset(ds, args.get("out"));
+  std::printf("imported %s: %s\n", args.get("out").c_str(),
+              ds.describe().c_str());
+  return 0;
+}
+
+int cmd_build(const Args& args) {
+  const Dataset ds = load_dataset(args.get("dataset"));
+  BuildConfig cfg;
+  cfg.degree = args.get_size("degree", 32);
+  cfg.ef_construction = args.get_size("ef", 64);
+  const Graph g = build_graph(parse_kind(args.get("kind")), ds, cfg);
+  g.save(args.get("out"));
+  const auto stats = g.stats();
+  std::printf("wrote %s: %zu nodes, avg degree %.1f, %.1f%% reachable\n",
+              args.get("out").c_str(), g.num_nodes(), stats.avg_degree,
+              100.0 * stats.reachable_fraction);
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const Dataset ds = load_dataset(args.get("dataset"));
+  std::printf("dataset: %s\n", ds.describe().c_str());
+  const std::string graph_path = args.get_or("graph", "");
+  if (!graph_path.empty()) {
+    const Graph g = Graph::load(graph_path);
+    const auto stats = g.stats();
+    std::printf("graph:   %zu nodes, degree %zu (avg %.1f, min %zu), "
+                "entry %u, %.2f%% reachable\n",
+                g.num_nodes(), g.degree(), stats.avg_degree,
+                stats.min_degree, g.entry_point(),
+                100.0 * stats.reachable_fraction);
+  }
+  return 0;
+}
+
+void print_report(const char* engine_name, const core::EngineReport& rep) {
+  std::printf("%s: %zu queries | recall %.4f | latency mean %.1fus "
+              "p99 %.1fus | throughput %.0f qps | pcie txns %llu\n",
+              engine_name, rep.summary.queries, rep.recall,
+              rep.summary.mean_service_us, rep.summary.p99_service_us,
+              rep.summary.throughput_qps,
+              static_cast<unsigned long long>(rep.pcie_transactions));
+}
+
+int cmd_search(const Args& args) {
+  const Dataset ds = load_dataset(args.get("dataset"));
+  if (!ds.has_ground_truth()) {
+    std::printf("note: dataset has no ground truth; recall prints as 0 "
+                "(run `algas_cli gt` first)\n");
+  }
+  const std::string engine = args.get_or("engine", "algas");
+  const std::size_t topk = args.get_size("topk", 16);
+  const std::size_t list = args.get_size("list", 128);
+  const std::size_t slots = args.get_size("slots", 16);
+  const std::size_t queries = args.get_size("queries", ds.num_queries());
+
+  if (engine == "ivf") {
+    baselines::IvfConfig cfg;
+    cfg.topk = topk;
+    cfg.nprobe = args.get_size("nprobe", 8);
+    cfg.batch_size = slots;
+    baselines::IvfEngine e(ds, cfg);
+    print_report("ivf", e.run_closed_loop(queries));
+    return 0;
+  }
+
+  const Graph g = Graph::load(args.get("graph"));
+  if (engine == "algas") {
+    core::AlgasConfig cfg;
+    cfg.search.topk = topk;
+    cfg.search.candidate_len = list;
+    cfg.search.beam_width = args.get_size("beam", 4);
+    cfg.slots = slots;
+    cfg.n_parallel = args.get_size("nparallel", 0);
+    cfg.host_threads = args.get_size("hosts", 1);
+    cfg.host_sync = parse_sync(args.get_or("sync", "mirrored"));
+    core::AlgasEngine e(ds, g, cfg);
+    std::printf("plan: %s\n", e.plan().describe().c_str());
+    print_report("algas", e.run_closed_loop(queries));
+  } else if (engine == "cagra") {
+    baselines::StaticConfig cfg;
+    cfg.search.topk = topk;
+    cfg.search.candidate_len = list;
+    cfg.batch_size = slots;
+    cfg.n_parallel = args.get_size("nparallel", 4);
+    baselines::StaticBatchEngine e(ds, g, cfg);
+    print_report("cagra", e.run_closed_loop(queries));
+  } else if (engine == "ganns") {
+    baselines::GannsConfig cfg;
+    cfg.search.topk = topk;
+    cfg.search.candidate_len = list;
+    cfg.batch_size = slots;
+    baselines::GannsEngine e(ds, g, cfg);
+    print_report("ganns", e.run_closed_loop(queries));
+  } else {
+    throw std::invalid_argument("unknown engine: " + engine);
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: algas_cli <gen|gt|import|build|stats|search> --key value ...\n"
+      "see the header comment of tools/algas_cli.cpp for full flag lists\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    Args args(argc, argv);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "gt") return cmd_gt(args);
+    if (cmd == "import") return cmd_import(args);
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "search") return cmd_search(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
