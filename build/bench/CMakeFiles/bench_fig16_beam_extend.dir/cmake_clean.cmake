@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_beam_extend.dir/bench_fig16_beam_extend.cpp.o"
+  "CMakeFiles/bench_fig16_beam_extend.dir/bench_fig16_beam_extend.cpp.o.d"
+  "bench_fig16_beam_extend"
+  "bench_fig16_beam_extend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_beam_extend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_sort_percent.dir/bench_fig17_sort_percent.cpp.o"
+  "CMakeFiles/bench_fig17_sort_percent.dir/bench_fig17_sort_percent.cpp.o.d"
+  "bench_fig17_sort_percent"
+  "bench_fig17_sort_percent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_sort_percent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

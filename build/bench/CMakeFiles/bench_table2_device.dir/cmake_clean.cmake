@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_device.dir/bench_table2_device.cpp.o"
+  "CMakeFiles/bench_table2_device.dir/bench_table2_device.cpp.o.d"
+  "bench_table2_device"
+  "bench_table2_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

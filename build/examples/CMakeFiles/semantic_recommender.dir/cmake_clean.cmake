@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_recommender.dir/semantic_recommender.cpp.o"
+  "CMakeFiles/semantic_recommender.dir/semantic_recommender.cpp.o.d"
+  "semantic_recommender"
+  "semantic_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/batch_runner.cpp" "src/CMakeFiles/algas.dir/baselines/batch_runner.cpp.o" "gcc" "src/CMakeFiles/algas.dir/baselines/batch_runner.cpp.o.d"
+  "/root/repo/src/baselines/ganns_engine.cpp" "src/CMakeFiles/algas.dir/baselines/ganns_engine.cpp.o" "gcc" "src/CMakeFiles/algas.dir/baselines/ganns_engine.cpp.o.d"
+  "/root/repo/src/baselines/ivf.cpp" "src/CMakeFiles/algas.dir/baselines/ivf.cpp.o" "gcc" "src/CMakeFiles/algas.dir/baselines/ivf.cpp.o.d"
+  "/root/repo/src/baselines/static_engine.cpp" "src/CMakeFiles/algas.dir/baselines/static_engine.cpp.o" "gcc" "src/CMakeFiles/algas.dir/baselines/static_engine.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "src/CMakeFiles/algas.dir/common/env.cpp.o" "gcc" "src/CMakeFiles/algas.dir/common/env.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/algas.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/algas.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/algas.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/algas.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/algas.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/algas.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/query_manager.cpp" "src/CMakeFiles/algas.dir/core/query_manager.cpp.o" "gcc" "src/CMakeFiles/algas.dir/core/query_manager.cpp.o.d"
+  "/root/repo/src/core/slot.cpp" "src/CMakeFiles/algas.dir/core/slot.cpp.o" "gcc" "src/CMakeFiles/algas.dir/core/slot.cpp.o.d"
+  "/root/repo/src/core/state_sync.cpp" "src/CMakeFiles/algas.dir/core/state_sync.cpp.o" "gcc" "src/CMakeFiles/algas.dir/core/state_sync.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/CMakeFiles/algas.dir/core/tuner.cpp.o" "gcc" "src/CMakeFiles/algas.dir/core/tuner.cpp.o.d"
+  "/root/repo/src/dataset/dataset.cpp" "src/CMakeFiles/algas.dir/dataset/dataset.cpp.o" "gcc" "src/CMakeFiles/algas.dir/dataset/dataset.cpp.o.d"
+  "/root/repo/src/dataset/ground_truth.cpp" "src/CMakeFiles/algas.dir/dataset/ground_truth.cpp.o" "gcc" "src/CMakeFiles/algas.dir/dataset/ground_truth.cpp.o.d"
+  "/root/repo/src/dataset/io.cpp" "src/CMakeFiles/algas.dir/dataset/io.cpp.o" "gcc" "src/CMakeFiles/algas.dir/dataset/io.cpp.o.d"
+  "/root/repo/src/dataset/registry.cpp" "src/CMakeFiles/algas.dir/dataset/registry.cpp.o" "gcc" "src/CMakeFiles/algas.dir/dataset/registry.cpp.o.d"
+  "/root/repo/src/dataset/synthetic.cpp" "src/CMakeFiles/algas.dir/dataset/synthetic.cpp.o" "gcc" "src/CMakeFiles/algas.dir/dataset/synthetic.cpp.o.d"
+  "/root/repo/src/distance/distance.cpp" "src/CMakeFiles/algas.dir/distance/distance.cpp.o" "gcc" "src/CMakeFiles/algas.dir/distance/distance.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/algas.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/algas.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/cagra_builder.cpp" "src/CMakeFiles/algas.dir/graph/cagra_builder.cpp.o" "gcc" "src/CMakeFiles/algas.dir/graph/cagra_builder.cpp.o.d"
+  "/root/repo/src/graph/gpu_construction.cpp" "src/CMakeFiles/algas.dir/graph/gpu_construction.cpp.o" "gcc" "src/CMakeFiles/algas.dir/graph/gpu_construction.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/algas.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/algas.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/neighbor_selection.cpp" "src/CMakeFiles/algas.dir/graph/neighbor_selection.cpp.o" "gcc" "src/CMakeFiles/algas.dir/graph/neighbor_selection.cpp.o.d"
+  "/root/repo/src/graph/nsw_builder.cpp" "src/CMakeFiles/algas.dir/graph/nsw_builder.cpp.o" "gcc" "src/CMakeFiles/algas.dir/graph/nsw_builder.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/algas.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/algas.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/recall.cpp" "src/CMakeFiles/algas.dir/metrics/recall.cpp.o" "gcc" "src/CMakeFiles/algas.dir/metrics/recall.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/CMakeFiles/algas.dir/metrics/table.cpp.o" "gcc" "src/CMakeFiles/algas.dir/metrics/table.cpp.o.d"
+  "/root/repo/src/search/bitonic.cpp" "src/CMakeFiles/algas.dir/search/bitonic.cpp.o" "gcc" "src/CMakeFiles/algas.dir/search/bitonic.cpp.o.d"
+  "/root/repo/src/search/candidate_list.cpp" "src/CMakeFiles/algas.dir/search/candidate_list.cpp.o" "gcc" "src/CMakeFiles/algas.dir/search/candidate_list.cpp.o.d"
+  "/root/repo/src/search/greedy.cpp" "src/CMakeFiles/algas.dir/search/greedy.cpp.o" "gcc" "src/CMakeFiles/algas.dir/search/greedy.cpp.o.d"
+  "/root/repo/src/search/intra_cta.cpp" "src/CMakeFiles/algas.dir/search/intra_cta.cpp.o" "gcc" "src/CMakeFiles/algas.dir/search/intra_cta.cpp.o.d"
+  "/root/repo/src/search/multi_cta.cpp" "src/CMakeFiles/algas.dir/search/multi_cta.cpp.o" "gcc" "src/CMakeFiles/algas.dir/search/multi_cta.cpp.o.d"
+  "/root/repo/src/search/topk_merge.cpp" "src/CMakeFiles/algas.dir/search/topk_merge.cpp.o" "gcc" "src/CMakeFiles/algas.dir/search/topk_merge.cpp.o.d"
+  "/root/repo/src/simgpu/channel.cpp" "src/CMakeFiles/algas.dir/simgpu/channel.cpp.o" "gcc" "src/CMakeFiles/algas.dir/simgpu/channel.cpp.o.d"
+  "/root/repo/src/simgpu/device_props.cpp" "src/CMakeFiles/algas.dir/simgpu/device_props.cpp.o" "gcc" "src/CMakeFiles/algas.dir/simgpu/device_props.cpp.o.d"
+  "/root/repo/src/simgpu/shared_memory.cpp" "src/CMakeFiles/algas.dir/simgpu/shared_memory.cpp.o" "gcc" "src/CMakeFiles/algas.dir/simgpu/shared_memory.cpp.o.d"
+  "/root/repo/src/simgpu/simulation.cpp" "src/CMakeFiles/algas.dir/simgpu/simulation.cpp.o" "gcc" "src/CMakeFiles/algas.dir/simgpu/simulation.cpp.o.d"
+  "/root/repo/src/simgpu/sm_scheduler.cpp" "src/CMakeFiles/algas.dir/simgpu/sm_scheduler.cpp.o" "gcc" "src/CMakeFiles/algas.dir/simgpu/sm_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algas_cli.dir/algas_cli.cpp.o"
+  "CMakeFiles/algas_cli.dir/algas_cli.cpp.o.d"
+  "algas_cli"
+  "algas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
