@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Format gate: clang-format --dry-run over every C++ source in src/, tests/,
+# and bench/. Pass --fix to rewrite files in place instead of checking.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode=(--dry-run --Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "lint.sh: clang-format not found; skipping format gate" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench -name '*.cpp' -o -name '*.hpp' | sort)
+echo "lint.sh: clang-format ${mode[*]} over ${#files[@]} files"
+clang-format "${mode[@]}" "${files[@]}"
+echo "lint.sh: OK"

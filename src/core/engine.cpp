@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
+#include "core/protocol_checker.hpp"
 #include "core/state_sync.hpp"
 #include "metrics/recall.hpp"
 #include "search/multi_cta.hpp"
@@ -86,7 +88,7 @@ class HostWorker final : public sim::Actor {
 /// All state of one engine run, wired together before Simulation::run().
 struct RunState {
   RunState(const Dataset& ds_in, const Graph& g_in, const AlgasConfig& cfg_in,
-           const TunePlan& plan_in)
+           const TunePlan& plan_in, sim::SimCheck* check_in)
       : ds(ds_in),
         g(g_in),
         cfg(cfg_in),
@@ -96,6 +98,7 @@ struct RunState {
         // keeps device states local (interrupts carry completion instead).
         sync(&channel, cfg_in.cost, cfg_in.slots, plan_in.n_parallel,
              cfg_in.host_sync == HostSync::kPollMirrored),
+        qm(check_in),
         slots(cfg_in.slots) {
     const std::size_t list_len =
         search::normalize_config(cfg.search, g.degree()).candidate_len;
@@ -140,7 +143,7 @@ CtaActor::CtaActor(RunState& run, std::size_t slot, std::size_t cta)
 void CtaActor::step(sim::Simulation& sim) {
   const sim::CostModel& cm = run_.cfg.cost;
   double elapsed = 0.0;
-  const SlotState st = run_.sync.device_read(slot_, cta_, &elapsed);
+  const SlotState st = run_.sync.device_read(sim.now(), slot_, cta_, &elapsed);
 
   switch (st) {
     case SlotState::kWork: {
@@ -171,7 +174,12 @@ void CtaActor::step(sim::Simulation& sim) {
                    cm.result_write_per_entry_ns;
         rt.steps += search_.stats().expanded_points;
         rt.rounds += search_.stats().rounds;
-        run_.sync.device_write(sim.now() + elapsed, slot_, cta_,
+        // Base time, not sim.now()+elapsed: StateSync advances by *elapsed
+        // itself, and state write-throughs are control-plane posts whose
+        // cost is independent of the issue instant, so the stamp choice
+        // cannot move virtual time — it only keeps the checker's per-actor
+        // happens-before timeline consistent.
+        run_.sync.device_write(sim.now(), slot_, cta_,
                                SlotState::kFinish, &elapsed);
         if (++rt.finished_ctas == run_.plan.n_parallel) {
           rt.gpu_done_ns = sim.now() + elapsed;
@@ -385,6 +393,7 @@ AlgasEngine::AlgasEngine(const Dataset& ds, const Graph& g, AlgasConfig cfg)
   in.layout.expand_entries =
       next_pow2(std::max<std::size_t>(1, cfg_.search.beam_width) * g.degree());
   in.layout.dim = ds.dim();
+  layout_ = in.layout;
   plan_ = tune(in);
   if (!plan_.ok) {
     throw std::invalid_argument("ALGAS tuning failed: " + plan_.reason);
@@ -402,7 +411,27 @@ EngineReport AlgasEngine::run_closed_loop(std::size_t num_queries) {
 }
 
 EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
-  RunState run(ds_, g_, cfg_, plan_);
+  // SimCheck wiring: an explicit checker from the config wins; otherwise a
+  // private one is constructed when the build/environment default says so.
+  // Null stays the zero-cost unchecked path.
+  sim::SimCheck* check = cfg_.checker;
+  std::unique_ptr<sim::SimCheck> owned_check;
+  if (check == nullptr && sim::simcheck_default_enabled()) {
+    owned_check = std::make_unique<sim::SimCheck>();
+    check = owned_check.get();
+  }
+  if (check) check->begin_run(std::string("algas:") + host_sync_name(cfg_.host_sync));
+
+  RunState run(ds_, g_, cfg_, plan_, check);
+  std::unique_ptr<ProtocolChecker> protocol;
+  if (check) {
+    run.sim.set_checker(check);
+    protocol = std::make_unique<ProtocolChecker>(check, &run.sync,
+                                                 &run.channel);
+    protocol->expect_full_drain(true);
+    run.sync.set_checker(protocol.get());
+  }
+
   for (const auto& a : arrivals) run.qm.push(a);
   run.total_queries = arrivals.size();
 
@@ -411,6 +440,16 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
   for (std::size_t s = 0; s < cfg_.slots; ++s) {
     for (std::size_t c = 0; c < plan_.n_parallel; ++c) {
       run.ctas.push_back(std::make_unique<CtaActor>(run, s, c));
+      if (check) {
+        // §IV-C budget: every launched block's layout must fit the tuned
+        // per-block shared-memory allowance.
+        std::ostringstream key;
+        key << "cta s" << s << " c" << c;
+        check->check_block_launch(key.str(), start, cfg_.device, layout_,
+                                  plan_.blocks_per_sm,
+                                  plan_.reserved_per_block,
+                                  plan_.avail_per_block);
+      }
       run.sim.schedule(run.ctas.back().get(), start);
     }
   }
@@ -431,6 +470,8 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
 
   run.sim.run();
 
+  if (protocol) protocol->finalize(run.sim.now());
+
   if (run.delivered != run.total_queries) {
     throw std::logic_error("ALGAS run lost queries: delivered " +
                            std::to_string(run.delivered) + " of " +
@@ -441,6 +482,7 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
   rep.summary = run.collector.summarize();
   rep.plan = plan_;
   rep.sim_events = run.sim.events_processed();
+  rep.simcheck_checks = check ? check->checks_performed() : 0;
   rep.host_polls = run.sync.host_polls();
   rep.interrupts = run.interrupts;
   rep.host_worker_steps = run.worker_steps;

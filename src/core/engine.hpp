@@ -15,6 +15,7 @@
 #include "metrics/collector.hpp"
 #include "search/intra_cta.hpp"
 #include "simgpu/channel.hpp"
+#include "simgpu/checker.hpp"
 #include "simgpu/cost_model.hpp"
 #include "simgpu/device_props.hpp"
 
@@ -44,6 +45,13 @@ struct AlgasConfig {
   sim::DeviceProps device = sim::DeviceProps::rtx_a6000();
   sim::CostModel cost;
   std::uint64_t seed = 1;
+  /// Optional SimCheck verification layer (not owned). Null means
+  /// unchecked — unless the build (ALGAS_SIMCHECK CMake option) or the
+  /// ALGAS_SIMCHECK environment variable turns checking on by default, in
+  /// which case each run constructs a private checker. The checker never
+  /// charges virtual time, so checked and unchecked runs produce identical
+  /// latency/throughput numbers.
+  sim::SimCheck* checker = nullptr;
 };
 
 /// Common result shape for all engines (ALGAS and baselines).
@@ -63,6 +71,8 @@ struct EngineReport {
   double host_busy_ns = 0.0;  ///< summed host-thread busy time
   TunePlan plan;
   std::uint64_t sim_events = 0;
+  /// Invariant evaluations performed by SimCheck (0 = run was unchecked).
+  std::uint64_t simcheck_checks = 0;
 };
 
 class AlgasEngine {
@@ -73,6 +83,8 @@ class AlgasEngine {
 
   const TunePlan& plan() const { return plan_; }
   const AlgasConfig& config() const { return cfg_; }
+  /// The per-block shared-memory layout the tuner budgeted for.
+  const sim::SharedMemoryLayout& layout() const { return layout_; }
 
   /// Closed loop: the first `num_queries` dataset queries, all available at
   /// t=0 (capped at the dataset's query count).
@@ -86,6 +98,7 @@ class AlgasEngine {
   const Graph& g_;
   AlgasConfig cfg_;
   TunePlan plan_;
+  sim::SharedMemoryLayout layout_;
 };
 
 }  // namespace algas::core

@@ -1,13 +1,33 @@
 #include "core/query_manager.hpp"
 
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+
+#include "simgpu/checker.hpp"
 
 namespace algas::core {
 
+namespace {
+constexpr const char* kQueueKey = "query-manager";
+}  // namespace
+
 void QueryManager::push(PendingQuery q) {
   if (q.arrival_ns < last_arrival_) {
+    if (check_) {
+      std::ostringstream msg;
+      msg << "query " << q.query_index << " pushed with arrival t="
+          << q.arrival_ns << "ns after a query already arrived at t="
+          << last_arrival_ << "ns (arrivals must be nondecreasing)";
+      check_->fail("arrival-order", kQueueKey, q.arrival_ns, msg.str());
+    }
     throw std::invalid_argument("arrivals must be nondecreasing");
+  }
+  if (check_) {
+    check_->count_check();
+    std::ostringstream what;
+    what << "push q" << q.query_index << " arrival=" << q.arrival_ns << "ns";
+    check_->record(kQueueKey, q.arrival_ns, what.str());
   }
   last_arrival_ = q.arrival_ns;
   pending_.push_back(q);
@@ -20,6 +40,19 @@ std::optional<PendingQuery> QueryManager::pop_ready(SimTime now) {
   }
   PendingQuery q = pending_.front();
   pending_.pop_front();
+  if (check_) {
+    check_->count_check();
+    if (q.arrival_ns > now) {
+      std::ostringstream msg;
+      msg << "pop_ready returned query " << q.query_index
+          << " before its arrival (arrival t=" << q.arrival_ns
+          << "ns, popped at t=" << now << "ns)";
+      check_->fail("arrival-order", kQueueKey, now, msg.str());
+    }
+    std::ostringstream what;
+    what << "pop q" << q.query_index << " at t=" << now << "ns";
+    check_->record(kQueueKey, now, what.str());
+  }
   return q;
 }
 

@@ -11,6 +11,10 @@
 
 #include "common/types.hpp"
 
+namespace algas::sim {
+class SimCheck;
+}  // namespace algas::sim
+
 namespace algas::core {
 
 struct PendingQuery {
@@ -20,6 +24,11 @@ struct PendingQuery {
 
 class QueryManager {
  public:
+  /// `check` (optional, not owned) audits queue hygiene: nondecreasing
+  /// arrival order on push, and that pops never return a not-yet-arrived
+  /// query. Violations fail fast with the queue's event trace.
+  explicit QueryManager(sim::SimCheck* check = nullptr) : check_(check) {}
+
   /// Arrivals must be pushed in nondecreasing arrival order.
   void push(PendingQuery q);
 
@@ -34,6 +43,7 @@ class QueryManager {
   std::size_t total_pushed() const { return total_; }
 
  private:
+  sim::SimCheck* check_;
   std::deque<PendingQuery> pending_;
   std::size_t total_ = 0;
   SimTime last_arrival_ = 0.0;

@@ -13,6 +13,26 @@ const char* slot_state_name(SlotState s) {
   return "invalid";
 }
 
+const char* side_name(Side s) {
+  switch (s) {
+    case Side::kNone: return "none";
+    case Side::kHost: return "host";
+    case Side::kDevice: return "device";
+  }
+  return "invalid";
+}
+
+Side state_owner(SlotState s) {
+  switch (s) {
+    case SlotState::kNone: return Side::kHost;     // fills the first query
+    case SlotState::kWork: return Side::kDevice;   // CTA flags completion
+    case SlotState::kFinish: return Side::kHost;   // host fetches results
+    case SlotState::kDone: return Side::kHost;     // refill or retire
+    case SlotState::kQuit: return Side::kNone;     // terminal
+  }
+  return Side::kNone;
+}
+
 bool is_legal_transition(SlotState from, SlotState to) {
   switch (from) {
     case SlotState::kNone:

@@ -27,4 +27,18 @@ const char* slot_state_name(SlotState s);
 /// None->Quit (host, drain before first query).
 bool is_legal_transition(SlotState from, SlotState to);
 
+/// Which side of the channel touches a state word.
+enum class Side : std::uint8_t {
+  kNone = 0,  ///< nobody (terminal state)
+  kHost,
+  kDevice,
+};
+
+const char* side_name(Side s);
+
+/// Fig 9 single-writer ownership rule: the one side allowed to transition
+/// a word OUT of state `s`. The mirrors in StateSync never conflict
+/// precisely because exactly one side holds modification rights per state.
+Side state_owner(SlotState s);
+
 }  // namespace algas::core

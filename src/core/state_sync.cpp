@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/protocol_checker.hpp"
+
 namespace algas::core {
 
 namespace {
@@ -33,12 +35,17 @@ SlotState StateSync::host_read(SimTime now, std::size_t slot, std::size_t cta,
                 channel_->transfer(now + *elapsed, kStateBytes,
                                    sim::Xfer::kStatePoll);
   }
-  return at(slot, cta);
+  const SlotState s = at(slot, cta);
+  if (checker_) checker_->on_read(Side::kHost, now + *elapsed, slot, cta, s);
+  return s;
 }
 
 void StateSync::host_write(SimTime now, std::size_t slot, std::size_t cta,
                            SlotState next, double* elapsed) {
   SlotState& s = at(slot, cta);
+  if (checker_) {
+    checker_->pre_write(Side::kHost, now + *elapsed, slot, cta, s, next);
+  }
   if (!is_legal_transition(s, next)) {
     throw std::logic_error(std::string("illegal host transition ") +
                            slot_state_name(s) + " -> " +
@@ -52,17 +59,27 @@ void StateSync::host_write(SimTime now, std::size_t slot, std::size_t cta,
               channel_->post(now + *elapsed, kStateBytes,
                              sim::Xfer::kStateWrite);
   s = next;
+  if (checker_) {
+    checker_->post_write(Side::kHost, now + *elapsed, slot, cta, next);
+  }
 }
 
-SlotState StateSync::device_read(std::size_t slot, std::size_t cta,
-                                 double* elapsed) {
+SlotState StateSync::device_read(SimTime now, std::size_t slot,
+                                 std::size_t cta, double* elapsed) {
   *elapsed += cm_.poll_local_ns;  // kernel polls its own memory
-  return at(slot, cta);
+  const SlotState s = at(slot, cta);
+  if (checker_) {
+    checker_->on_read(Side::kDevice, now + *elapsed, slot, cta, s);
+  }
+  return s;
 }
 
 void StateSync::device_write(SimTime now, std::size_t slot, std::size_t cta,
                              SlotState next, double* elapsed) {
   SlotState& s = at(slot, cta);
+  if (checker_) {
+    checker_->pre_write(Side::kDevice, now + *elapsed, slot, cta, s, next);
+  }
   if (!is_legal_transition(s, next)) {
     throw std::logic_error(std::string("illegal device transition ") +
                            slot_state_name(s) + " -> " +
@@ -77,6 +94,9 @@ void StateSync::device_write(SimTime now, std::size_t slot, std::size_t cta,
   }
   // Naive mode: the state lives in device memory; the host pays on poll.
   s = next;
+  if (checker_) {
+    checker_->post_write(Side::kDevice, now + *elapsed, slot, cta, next);
+  }
 }
 
 bool StateSync::host_all_in_state(SimTime now, std::size_t slot, SlotState s,

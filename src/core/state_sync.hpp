@@ -23,6 +23,8 @@
 
 namespace algas::core {
 
+class ProtocolChecker;
+
 class StateSync {
  public:
   StateSync(sim::Channel* channel, const sim::CostModel& cm,
@@ -31,6 +33,17 @@ class StateSync {
   std::size_t slots() const { return slots_; }
   std::size_t ctas_per_slot() const { return ctas_; }
   bool mirrored() const { return mirrored_; }
+
+  /// Attach a protocol checker (not owned; null = unchecked). Every access
+  /// below reports to it; writes report BEFORE any side effect so illegal
+  /// transitions fail with the checker's trace-carrying diagnostics.
+  void set_checker(ProtocolChecker* checker) { checker_ = checker; }
+
+  /// Cost-free state inspection (no polling cost, no counters). For
+  /// checker drain reports and tests only — engines must poll.
+  SlotState peek(std::size_t slot, std::size_t cta) const {
+    return states_[slot * ctas_ + cta];
+  }
 
   /// Host polls one CTA state. Adds the poll's cost to *elapsed and issues
   /// channel traffic in naive mode. `now` is the poller's current cursor.
@@ -43,8 +56,10 @@ class StateSync {
                   SlotState next, double* elapsed);
 
   /// Device-side poll — local in both modes (the kernel polls its own
-  /// memory).
-  SlotState device_read(std::size_t slot, std::size_t cta, double* elapsed);
+  /// memory). `now` is the polling CTA's current cursor (used only for
+  /// checker timestamps; device polls never touch the channel).
+  SlotState device_read(SimTime now, std::size_t slot, std::size_t cta,
+                        double* elapsed);
 
   /// Device transitions its state. Mirrored mode pays one write-through.
   void device_write(SimTime now, std::size_t slot, std::size_t cta,
@@ -64,6 +79,7 @@ class StateSync {
   }
 
   sim::Channel* channel_;
+  ProtocolChecker* checker_ = nullptr;
   sim::CostModel cm_;
   std::size_t slots_;
   std::size_t ctas_;

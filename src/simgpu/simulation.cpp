@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "simgpu/checker.hpp"
+
 namespace algas::sim {
 
 void Simulation::schedule(Actor* a, SimTime when) {
+  if (check_) check_->on_schedule(a, a->name(), now_, when);
   when = std::max(when, now_);
   if (a->pending_time_ >= 0.0 && a->pending_time_ <= when) {
     return;  // an earlier (or equal) wake-up is already queued
@@ -32,11 +35,13 @@ void Simulation::run() {
   stopped_ = false;
   Event ev;
   while (!stopped_ && pop_next(ev)) {
+    if (check_) check_->on_event(ev.actor, ev.actor->name(), now_, ev.time);
     now_ = ev.time;
     ev.actor->pending_time_ = -1.0;
     ++events_processed_;
     ev.actor->step(*this);
   }
+  if (check_ && !stopped_) check_->on_drain(now_);
 }
 
 void Simulation::run_until(SimTime t) {
@@ -49,12 +54,14 @@ void Simulation::run_until(SimTime t) {
       now_ = t;
       return;
     }
+    if (check_) check_->on_event(ev.actor, ev.actor->name(), now_, ev.time);
     now_ = ev.time;
     ev.actor->pending_time_ = -1.0;
     ++events_processed_;
     ev.actor->step(*this);
   }
   now_ = std::max(now_, t);
+  if (check_ && !stopped_) check_->on_drain(now_);
 }
 
 }  // namespace algas::sim

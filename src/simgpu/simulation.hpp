@@ -21,6 +21,7 @@
 
 namespace algas::sim {
 
+class SimCheck;
 class Simulation;
 
 /// Base class for everything that consumes virtual time.
@@ -64,6 +65,13 @@ class Simulation {
   std::uint64_t events_processed() const { return events_processed_; }
   bool idle() const { return queue_.empty(); }
 
+  /// Attach a SimCheck verification layer (not owned; null disables — the
+  /// unchecked path costs one branch per schedule/step). The checker
+  /// observes scheduling hygiene and natural queue drains; it never
+  /// advances or charges virtual time.
+  void set_checker(SimCheck* check) { check_ = check; }
+  SimCheck* checker() const { return check_; }
+
  private:
   struct Event {
     SimTime time;
@@ -83,6 +91,7 @@ class Simulation {
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;
+  SimCheck* check_ = nullptr;
 };
 
 }  // namespace algas::sim

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <set>
+#include <string>
 
 #include "core/engine.hpp"
+#include "core/protocol_checker.hpp"
 #include "core/query_manager.hpp"
 #include "core/slot.hpp"
 #include "core/state_sync.hpp"
 #include "core/tuner.hpp"
+#include "simgpu/checker.hpp"
 #include "test_util.hpp"
 
 namespace algas::core {
@@ -38,6 +42,44 @@ TEST(Slot, IllegalTransitionsRejected) {
   EXPECT_FALSE(is_legal_transition(SlotState::kFinish, SlotState::kWork));
   EXPECT_FALSE(is_legal_transition(SlotState::kQuit, SlotState::kWork));
   EXPECT_FALSE(is_legal_transition(SlotState::kNone, SlotState::kFinish));
+}
+
+TEST(Slot, TransitionMatrixExhaustive) {
+  // All 25 (from, to) pairs against the Fig 5 edge list: exactly the six
+  // protocol edges are legal, everything else (self-loops included) is not.
+  const SlotState all[] = {SlotState::kNone, SlotState::kWork,
+                           SlotState::kFinish, SlotState::kDone,
+                           SlotState::kQuit};
+  auto fig5 = [](SlotState from, SlotState to) {
+    return (from == SlotState::kNone && to == SlotState::kWork) ||
+           (from == SlotState::kWork && to == SlotState::kFinish) ||
+           (from == SlotState::kFinish && to == SlotState::kDone) ||
+           (from == SlotState::kDone && to == SlotState::kWork) ||
+           (from == SlotState::kDone && to == SlotState::kQuit) ||
+           (from == SlotState::kNone && to == SlotState::kQuit);
+  };
+  int legal = 0;
+  for (SlotState from : all) {
+    for (SlotState to : all) {
+      EXPECT_EQ(is_legal_transition(from, to), fig5(from, to))
+          << slot_state_name(from) << " -> " << slot_state_name(to);
+      legal += is_legal_transition(from, to) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(legal, 6);
+}
+
+TEST(Slot, Fig9SingleWriterOwnership) {
+  // The side allowed to transition a word OUT of each state: host owns
+  // None/Finish/Done, the device owns Work, Quit is terminal.
+  EXPECT_EQ(state_owner(SlotState::kNone), Side::kHost);
+  EXPECT_EQ(state_owner(SlotState::kWork), Side::kDevice);
+  EXPECT_EQ(state_owner(SlotState::kFinish), Side::kHost);
+  EXPECT_EQ(state_owner(SlotState::kDone), Side::kHost);
+  EXPECT_EQ(state_owner(SlotState::kQuit), Side::kNone);
+  EXPECT_STREQ(side_name(Side::kHost), "host");
+  EXPECT_STREQ(side_name(Side::kDevice), "device");
+  EXPECT_STREQ(side_name(Side::kNone), "none");
 }
 
 // ---------------- tuner.hpp ----------------
@@ -212,6 +254,147 @@ TEST(StateSync, IllegalTransitionThrows) {
                std::logic_error);
 }
 
+// ---------------- protocol_checker.hpp ----------------
+
+/// StateSync with the full SimCheck/ProtocolChecker stack attached.
+struct CheckedSync {
+  sim::CostModel cm;
+  sim::Channel ch;
+  sim::SimCheck check;
+  StateSync sync;
+  ProtocolChecker protocol;
+
+  CheckedSync(std::size_t slots, std::size_t ctas, bool mirrored)
+      : ch(cm),
+        sync(&ch, cm, slots, ctas, mirrored),
+        protocol(&check, &sync, &ch) {
+    sync.set_checker(&protocol);
+  }
+};
+
+/// Run `fn`, demand a SimCheckError of class `kind`, return its report.
+std::string violation_report(const std::function<void()>& fn,
+                             const std::string& kind) {
+  try {
+    fn();
+  } catch (const sim::SimCheckError& e) {
+    EXPECT_EQ(e.kind(), kind) << e.what();
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a SimCheck violation of kind [" << kind << "]";
+  return {};
+}
+
+TEST(ProtocolChecker, LegalLifecycleRunsClean) {
+  for (bool mirrored : {false, true}) {
+    CheckedSync cs(1, 2, mirrored);
+    double e = 0.0;
+    double t = 0.0;
+    for (std::size_t c = 0; c < 2; ++c) {
+      cs.sync.host_write(t, 0, c, SlotState::kWork, &e);
+      cs.sync.device_read(t += 10, 0, c, &e);
+      cs.sync.device_write(t += 10, 0, c, SlotState::kFinish, &e);
+      cs.sync.host_read(t += 10, 0, c, &e);
+      cs.sync.host_write(t += 10, 0, c, SlotState::kDone, &e);
+      cs.sync.host_write(t += 10, 0, c, SlotState::kQuit, &e);
+    }
+    EXPECT_NO_THROW(cs.protocol.finalize(t));
+    EXPECT_EQ(cs.check.violations(), 0u);
+    EXPECT_GT(cs.check.checks_performed(), 20u);
+    EXPECT_EQ(cs.protocol.writes_observed(), 8u);
+  }
+}
+
+TEST(ProtocolChecker, DeviceWriteOfHostOwnedWordIsRace) {
+  // Mutation: after Finish the word is host-owned; a device Finish->Work
+  // write must be reported as a Fig 9 race, with the word's trace attached,
+  // BEFORE any state mutation happens.
+  CheckedSync cs(1, 1, /*mirrored=*/true);
+  double e = 0.0;
+  cs.sync.host_write(0.0, 0, 0, SlotState::kWork, &e);
+  cs.sync.device_write(10.0, 0, 0, SlotState::kFinish, &e);
+  const std::string report = violation_report(
+      [&] { cs.sync.device_write(20.0, 0, 0, SlotState::kWork, &e); },
+      "ownership");
+  EXPECT_NE(report.find("Fig 9 ownership violation"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("slot0.cta0"), std::string::npos);
+  EXPECT_NE(report.find("device wrote Finish"), std::string::npos)
+      << "report must carry the word's event trace:\n" << report;
+  EXPECT_EQ(cs.sync.peek(0, 0), SlotState::kFinish)
+      << "the racing write must report before mutating the word";
+  EXPECT_EQ(cs.check.violations(), 1u);
+}
+
+TEST(ProtocolChecker, IllegalHostTransitionReportsBeforeSideEffects) {
+  // None is host-owned, so ownership passes; None->Finish is simply not a
+  // Fig 5 edge. The report fires before channel traffic or mutation.
+  CheckedSync cs(1, 1, /*mirrored=*/true);
+  double e = 0.0;
+  const auto writes_before =
+      cs.ch.counters(sim::Xfer::kStateWrite).transactions;
+  const std::string report = violation_report(
+      [&] { cs.sync.host_write(0.0, 0, 0, SlotState::kFinish, &e); },
+      "illegal-transition");
+  EXPECT_NE(report.find("Fig 5 permits"), std::string::npos) << report;
+  EXPECT_EQ(cs.sync.peek(0, 0), SlotState::kNone);
+  EXPECT_EQ(cs.ch.counters(sim::Xfer::kStateWrite).transactions,
+            writes_before)
+      << "an illegal write must not issue its write-through";
+}
+
+TEST(ProtocolChecker, MirroredPollCrossingChannelIsConservationViolation) {
+  // Mutation: fake a buggy mirrored poll by issuing the channel transaction
+  // a naive poll would. The next audited access flags the imbalance.
+  CheckedSync cs(1, 1, /*mirrored=*/true);
+  double e = 0.0;
+  EXPECT_NO_THROW(cs.sync.host_read(0.0, 0, 0, &e));
+  cs.ch.post(0.0, 4, sim::Xfer::kStatePoll);  // traffic the model forbids
+  const std::string report = violation_report(
+      [&] { cs.sync.host_read(10.0, 0, 0, &e); }, "channel-conservation");
+  EXPECT_NE(report.find("mirrored-mode poll generated channel traffic"),
+            std::string::npos)
+      << report;
+}
+
+TEST(ProtocolChecker, DuplicateWriteThroughCaughtAtFinalize) {
+  CheckedSync cs(1, 1, /*mirrored=*/true);
+  double e = 0.0;
+  cs.sync.host_write(0.0, 0, 0, SlotState::kWork, &e);
+  cs.ch.post(0.0, 4, sim::Xfer::kStateWrite);  // write-through issued twice
+  const std::string report = violation_report(
+      [&] { cs.protocol.finalize(10.0); }, "channel-conservation");
+  EXPECT_NE(report.find("issued more than once"), std::string::npos)
+      << report;
+}
+
+TEST(ProtocolChecker, PrematureDrainReportsStuckWordsWithTraces) {
+  // A drain while slot0.cta0 sits in Work (and cta1 never started) is the
+  // deadlock signature; the report names every stuck word, its last writer,
+  // and dumps its trace.
+  CheckedSync cs(1, 2, /*mirrored=*/true);
+  double e = 0.0;
+  cs.sync.host_write(5.0, 0, 0, SlotState::kWork, &e);
+  cs.protocol.expect_full_drain(true);
+  const std::string report = violation_report(
+      [&] { cs.protocol.on_drain(100.0); }, "deadlock");
+  EXPECT_NE(report.find("never reached Quit"), std::string::npos) << report;
+  EXPECT_NE(report.find("slot0.cta0: state=Work"), std::string::npos);
+  EXPECT_NE(report.find("last written by host"), std::string::npos);
+  EXPECT_NE(report.find("slot0.cta1: state=None"), std::string::npos);
+  EXPECT_NE(report.find("host wrote Work"), std::string::npos)
+      << "report must include the stuck word's trace:\n" << report;
+}
+
+TEST(ProtocolChecker, CleanDrainAfterFullRetirementPasses) {
+  CheckedSync cs(1, 1, /*mirrored=*/true);
+  double e = 0.0;
+  cs.sync.host_write(0.0, 0, 0, SlotState::kQuit, &e);
+  cs.protocol.expect_full_drain(true);
+  EXPECT_NO_THROW(cs.protocol.on_drain(10.0));
+  EXPECT_EQ(cs.check.violations(), 0u);
+}
+
 // ---------------- query_manager.hpp ----------------
 
 TEST(QueryManager, FifoPopRespectsArrival) {
@@ -230,6 +413,18 @@ TEST(QueryManager, RejectsDecreasingArrivals) {
   QueryManager qm;
   qm.push({0, 10.0});
   EXPECT_THROW(qm.push({1, 5.0}), std::invalid_argument);
+}
+
+TEST(QueryManager, CheckedArrivalOrderViolationCarriesTrace) {
+  sim::SimCheck check;
+  QueryManager qm(&check);
+  qm.push({0, 10.0});
+  const std::string report = violation_report(
+      [&] { qm.push({1, 5.0}); }, "arrival-order");
+  EXPECT_NE(report.find("arrivals must be nondecreasing"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("push q0 arrival=10ns"), std::string::npos)
+      << "report must carry the queue's trace:\n" << report;
 }
 
 TEST(QueryManager, EmptyNextArrivalIsInfinite) {
@@ -400,6 +595,74 @@ TEST(AlgasEngine, UtilizationIsSane) {
   const auto rep = engine.run_closed_loop(80);
   EXPECT_GT(rep.gpu_utilization, 0.0);
   EXPECT_LE(rep.gpu_utilization, 1.0);
+}
+
+// ---------------- engine x SimCheck ----------------
+
+TEST(AlgasEngine, CheckedRunIsCleanInEverySyncMode) {
+  // The full engine, run under the complete verification stack: every slot
+  // protocol, channel-conservation, drain, and budget invariant holds in
+  // all three §V-A synchronization modes.
+  const auto& world = algas::testing::tiny_world();
+  for (HostSync mode : {HostSync::kPollNaive, HostSync::kPollMirrored,
+                        HostSync::kBlocking}) {
+    sim::SimCheck check;
+    auto cfg = tiny_engine_config();
+    cfg.host_sync = mode;
+    cfg.checker = &check;
+    AlgasEngine engine(world.ds, world.nsw, cfg);
+    const auto rep = engine.run_closed_loop(40);
+    EXPECT_EQ(rep.summary.queries, 40u) << host_sync_name(mode);
+    EXPECT_GT(rep.simcheck_checks, 1000u)
+        << host_sync_name(mode) << ": checker silently no-opped";
+    EXPECT_EQ(check.violations(), 0u) << host_sync_name(mode);
+    EXPECT_GT(check.events_traced(), 0u) << host_sync_name(mode);
+  }
+}
+
+TEST(AlgasEngine, CheckerNeverPerturbsVirtualTime) {
+  // SimCheck is a pure observer: checked and unchecked runs must agree on
+  // every virtual-time quantity bit for bit, in every sync mode.
+  const auto& world = algas::testing::tiny_world();
+  for (HostSync mode : {HostSync::kPollNaive, HostSync::kPollMirrored,
+                        HostSync::kBlocking}) {
+    auto cfg = tiny_engine_config();
+    cfg.host_sync = mode;
+    AlgasEngine plain(world.ds, world.nsw, cfg);
+    sim::SimCheck check;
+    cfg.checker = &check;
+    AlgasEngine checked(world.ds, world.nsw, cfg);
+    const auto rp = plain.run_closed_loop(30);
+    const auto rc = checked.run_closed_loop(30);
+    EXPECT_DOUBLE_EQ(rp.summary.mean_service_us, rc.summary.mean_service_us)
+        << host_sync_name(mode);
+    EXPECT_DOUBLE_EQ(rp.summary.throughput_qps, rc.summary.throughput_qps)
+        << host_sync_name(mode);
+    EXPECT_EQ(rp.sim_events, rc.sim_events) << host_sync_name(mode);
+    EXPECT_DOUBLE_EQ(rp.recall, rc.recall) << host_sync_name(mode);
+    EXPECT_EQ(rp.pcie_transactions, rc.pcie_transactions)
+        << host_sync_name(mode);
+    // Under a default-on build the "plain" engine self-checks too; the
+    // virtual-time equalities above are the real assertion either way.
+    if (!sim::simcheck_default_enabled()) {
+      EXPECT_EQ(rp.simcheck_checks, 0u);
+    }
+    EXPECT_GT(rc.simcheck_checks, 0u);
+  }
+}
+
+TEST(AlgasEngine, OneCheckerAuditsManyRuns) {
+  const auto& world = algas::testing::tiny_world();
+  sim::SimCheck check;
+  auto cfg = tiny_engine_config();
+  cfg.checker = &check;
+  AlgasEngine engine(world.ds, world.nsw, cfg);
+  const auto r1 = engine.run_closed_loop(20);
+  const auto r2 = engine.run_closed_loop(20);
+  EXPECT_GT(r1.simcheck_checks, 0u);
+  EXPECT_GT(r2.simcheck_checks, 0u);
+  EXPECT_EQ(check.violations(), 0u);
+  EXPECT_EQ(check.run_label(), std::string("algas:poll-mirrored"));
 }
 
 }  // namespace

@@ -142,8 +142,8 @@ TEST_P(BuilderTest, NeighborsAreActuallyClose) {
 INSTANTIATE_TEST_SUITE_P(Kinds, BuilderTest,
                          ::testing::Values(GraphKind::kNsw,
                                            GraphKind::kCagra),
-                         [](const auto& info) {
-                           return graph_kind_name(info.param);
+                         [](const auto& param_info) {
+                           return graph_kind_name(param_info.param);
                          });
 
 TEST(Builders, SingleNodeGraph) {

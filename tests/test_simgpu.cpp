@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "simgpu/channel.hpp"
+#include "simgpu/checker.hpp"
 #include "simgpu/cost_model.hpp"
 #include "simgpu/device_props.hpp"
 #include "simgpu/shared_memory.hpp"
@@ -120,6 +122,130 @@ TEST(Simulation, RunUntilStopsAtBoundary) {
   EXPECT_EQ(a.times.size(), 3u);  // steps at 0, 10, 20
   sim.run();                      // drain the rest
   EXPECT_EQ(a.times.size(), 11u);
+}
+
+// ---------------- checker.hpp: event-queue hygiene ----------------
+
+TEST(SimCheck, ScheduleFarInPastIsViolation) {
+  Simulation sim;
+  SimCheck check;
+  sim.set_checker(&check);
+  ProbeActor a;
+  sim.schedule(&a, 10.0);
+  sim.run();
+  // now() is 10; a wake-up requested 6ns earlier is a cost-accounting bug,
+  // not the documented clamp.
+  try {
+    sim.schedule(&a, 4.0);
+    FAIL() << "expected a schedule-in-past violation";
+  } catch (const SimCheckError& e) {
+    EXPECT_EQ(e.kind(), "schedule-in-past");
+    EXPECT_NE(std::string(e.what()).find("in the past"), std::string::npos);
+  }
+  EXPECT_EQ(check.violations(), 1u);
+}
+
+TEST(SimCheck, ClampWithinToleranceIsAllowed) {
+  Simulation sim;
+  SimCheck check;
+  sim.set_checker(&check);
+  ProbeActor a;
+  sim.schedule(&a, 10.0);
+  sim.run();
+  // Within the documented clamp tolerance: allowed, runs at now().
+  EXPECT_NO_THROW(sim.schedule(&a, 10.0 - 1e-9));
+  sim.run();
+  ASSERT_EQ(a.times.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.times[1], 10.0);
+  EXPECT_EQ(check.violations(), 0u);
+}
+
+TEST(SimCheck, StepsAreTracedPerActor) {
+  Simulation sim;
+  SimCheck check;
+  sim.set_checker(&check);
+  ProbeActor a(5.0, 3), b(7.0, 2);
+  sim.schedule(&a, 0.0);
+  sim.schedule(&b, 1.0);
+  sim.run();
+  EXPECT_GT(check.checks_performed(), 0u);
+  EXPECT_EQ(check.events_traced(), sim.events_processed());
+  // Deterministic actor keys: first-touch ordinals per name.
+  EXPECT_NE(check.trace_dump("actor#0").find("step"), std::string::npos);
+  EXPECT_NE(check.trace_dump("actor#1").find("step"), std::string::npos);
+  EXPECT_NE(check.trace_dump("ghost").find("no recorded events"),
+            std::string::npos);
+}
+
+TEST(SimCheck, TraceRingKeepsMostRecent) {
+  TraceRing ring(3);
+  for (int i = 0; i < 5; ++i) ring.push(i, "e" + std::to_string(i));
+  EXPECT_EQ(ring.total_recorded(), 5u);
+  ASSERT_EQ(ring.events().size(), 3u);
+  EXPECT_EQ(ring.events().front().what, "e2");
+  EXPECT_EQ(ring.events().back().what, "e4");
+}
+
+TEST(SimCheck, BeginRunResetsTraces) {
+  SimCheck check;
+  check.record("w", 1.0, "old");
+  check.begin_run("second");
+  EXPECT_EQ(check.run_label(), "second");
+  EXPECT_NE(check.trace_dump("w").find("no recorded events"),
+            std::string::npos);
+}
+
+// ---------------- checker.hpp: shared-memory budget ----------------
+
+TEST(SimCheck, OverBudgetBlockLaunchReports) {
+  SimCheck check;
+  SharedMemoryLayout layout;
+  layout.candidate_entries = 128;
+  layout.expand_entries = 64;
+  layout.dim = 128;
+  const auto dev = DeviceProps::rtx_a6000();
+  // Fits the device, but exceeds the tuner's per-block budget by one byte.
+  try {
+    check.check_block_launch("cta s0 c0", 0.0, dev, layout, 1, 0,
+                             layout.total_bytes() - 1);
+    FAIL() << "expected a shared-memory-budget violation";
+  } catch (const SimCheckError& e) {
+    EXPECT_EQ(e.kind(), "shared-memory-budget");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("budgeted only"), std::string::npos) << what;
+    EXPECT_NE(what.find("launch"), std::string::npos)
+        << "report must include the launch trace:\n" << what;
+  }
+}
+
+TEST(SimCheck, OccupancyViolatingLaunchReports) {
+  SimCheck check;
+  SharedMemoryLayout layout;
+  layout.candidate_entries = 4096;
+  layout.expand_entries = 4096;
+  layout.dim = 960;
+  const auto dev = DeviceProps::rtx_a6000();
+  try {
+    check.check_block_launch("cta s0 c0", 0.0, dev, layout, 16, 1024, 0);
+    FAIL() << "expected an occupancy violation";
+  } catch (const SimCheckError& e) {
+    EXPECT_EQ(e.kind(), "shared-memory-budget");
+    EXPECT_NE(std::string(e.what()).find("occupancy constraint"),
+              std::string::npos);
+  }
+}
+
+TEST(SimCheck, FittingLaunchPasses) {
+  SimCheck check;
+  SharedMemoryLayout layout;
+  layout.candidate_entries = 128;
+  layout.expand_entries = 64;
+  layout.dim = 128;
+  const auto dev = DeviceProps::rtx_a6000();
+  EXPECT_NO_THROW(check.check_block_launch("cta s0 c0", 0.0, dev, layout, 8,
+                                           1024, layout.total_bytes()));
+  EXPECT_EQ(check.violations(), 0u);
+  EXPECT_GT(check.checks_performed(), 0u);
 }
 
 // ---------------- channel.hpp ----------------
