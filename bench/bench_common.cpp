@@ -8,6 +8,7 @@
 
 #include "common/env.hpp"
 #include "dataset/registry.hpp"
+#include "simgpu/trace.hpp"
 
 namespace algas::bench {
 
@@ -82,6 +83,12 @@ void print_header(const std::string& bench, const std::string& what) {
   metrics::print_meta(std::cout, "note",
                       "latency/throughput are virtual-time (simulated GPU); "
                       "recall is a real measurement");
+  // Announce on stderr, never stdout: the TSV must stay byte-identical
+  // whether or not ALGAS_TRACE is set (tracing is a pure observer).
+  if (!sim::trace_default_path().empty()) {
+    std::cerr << "[bench] SimTrace enabled, writing "
+              << sim::trace_default_path() << "\n";
+  }
 }
 
 core::AlgasConfig algas_config(std::size_t batch, std::size_t candidate_len,

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a SimTrace Chrome trace-event JSON file.
+
+Usage: check_trace.py <trace.json>
+
+Checks the schema SimTrace promises (and Perfetto relies on): the object
+format with a traceEvents list, known phases with their required keys,
+non-negative durations, numeric counter values, paired flow ids, and the
+presence of at least one duration span and one slot-state instant.
+Exits 1 with a message on the first violation. Stdlib only.
+"""
+import json
+import sys
+
+KNOWN_PHASES = {"X", "i", "C", "s", "f", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    try:
+        with open(sys.argv[1], "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty list")
+
+    spans = instants = state_instants = counters = 0
+    has_algas_process = False
+    flow_balance = {}
+    for n, e in enumerate(events):
+        where = f"event {n}"
+        if not isinstance(e, dict):
+            fail(f"{where}: not an object")
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        for key in ("pid", "tid", "name"):
+            if key not in e:
+                fail(f"{where}: missing {key!r}")
+        if ph == "M":
+            if e["name"] == "process_name" and str(
+                    e.get("args", {}).get("name", "")).startswith("algas:"):
+                has_algas_process = True
+        else:
+            ts = e.get("ts")
+            if not isinstance(ts, (int, float)):
+                fail(f"{where}: non-numeric ts {ts!r}")
+        if ph == "X":
+            spans += 1
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: complete span needs dur >= 0, got {dur!r}")
+        elif ph == "i":
+            instants += 1
+            if e.get("s") not in ("t", "p", "g"):
+                fail(f"{where}: instant needs a scope 's'")
+            if e.get("cat") == "state":
+                state_instants += 1
+                if "->" not in e["name"]:
+                    fail(f"{where}: state instant name {e['name']!r} "
+                         "is not a 'From->To' transition")
+        elif ph == "C":
+            counters += 1
+            args = e.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                    args.get("value"), (int, float)):
+                fail(f"{where}: counter needs numeric args.value")
+        elif ph in ("s", "f"):
+            fid = e.get("id")
+            if not isinstance(fid, int):
+                fail(f"{where}: flow event needs an integer id")
+            flow_balance[fid] = flow_balance.get(fid, 0) + (
+                1 if ph == "s" else -1)
+
+    unpaired = [fid for fid, b in flow_balance.items() if b != 0]
+    if unpaired:
+        fail(f"unpaired flow ids: {unpaired[:10]}")
+    if spans == 0:
+        fail("no duration spans ('X') recorded")
+    # Only ALGAS runs have the Fig 5 state machine; batch baselines do not.
+    if has_algas_process and state_instants == 0:
+        fail("ALGAS run traced but no slot-state transition instants "
+             "(cat='state') recorded")
+
+    print(f"check_trace: OK: {len(events)} events "
+          f"({spans} spans, {instants} instants, {counters} counter samples, "
+          f"{len(flow_balance)} flows, {state_instants} state transitions)")
+
+
+if __name__ == "__main__":
+    main()

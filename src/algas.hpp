@@ -22,3 +22,4 @@
 #include "metrics/recall.hpp"
 #include "search/greedy.hpp"            // instrumented reference search
 #include "simgpu/device_props.hpp"      // simulated device (Table II)
+#include "simgpu/trace.hpp"             // SimTrace timeline sink

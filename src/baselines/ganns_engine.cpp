@@ -13,6 +13,8 @@ StaticConfig GannsEngine::to_static(const GannsConfig& cfg) {
   s.device = cfg.device;
   s.cost = cfg.cost;
   s.seed = cfg.seed;
+  s.tracer = cfg.tracer;
+  s.trace_label = "ganns";
   return s;
 }
 

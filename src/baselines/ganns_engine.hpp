@@ -14,6 +14,8 @@ struct GannsConfig {
   sim::DeviceProps device = sim::DeviceProps::rtx_a6000();
   sim::CostModel cost;
   std::uint64_t seed = 1;
+  /// Optional SimTrace sink (not owned); see StaticConfig::tracer.
+  sim::Tracer* tracer = nullptr;
 };
 
 class GannsEngine {

@@ -7,6 +7,7 @@
 #include "metrics/recall.hpp"
 #include "search/multi_cta.hpp"
 #include "simgpu/channel.hpp"
+#include "simgpu/trace.hpp"
 
 namespace algas::baselines {
 
@@ -57,6 +58,25 @@ core::EngineReport StaticBatchEngine::run(
   const sim::CostModel& cm = cfg_.cost;
   sim::Channel channel(cm);
   metrics::Collector collector;
+
+  // SimTrace wiring mirrors the ALGAS engine: explicit tracer, else the
+  // ALGAS_TRACE default, else untraced. Lane names match ALGAS ("slot <b>")
+  // so the dynamic and static timelines compare side by side in Perfetto.
+  sim::Tracer* tracer = cfg_.tracer ? cfg_.tracer : sim::default_tracer();
+  std::uint64_t trace_events_before = 0;
+  int tpid = 0;
+  int batch_tid = 0;
+  std::vector<int> slot_tid(cfg_.batch_size, 0);
+  if (tracer) {
+    trace_events_before = tracer->events_recorded();
+    tpid = tracer->begin_process(cfg_.trace_label);
+    const int link_tid = tracer->lane(tpid, "pcie link");
+    batch_tid = tracer->lane(tpid, "batch");
+    for (std::size_t b = 0; b < cfg_.batch_size; ++b) {
+      slot_tid[b] = tracer->lane(tpid, "slot " + std::to_string(b));
+    }
+    channel.set_tracer(tracer, tpid, link_tid);
+  }
 
   double clock = 0.0;  // device free time (kernels serialize)
   std::size_t cursor_q = 0;
@@ -125,6 +145,35 @@ core::EngineReport StaticBatchEngine::run(
     }
     done += cm.host_dispatch_ns;  // batch completion bookkeeping
 
+    if (tracer) {
+      const std::size_t batch_index = (cursor_q - batch_n) / cfg_.batch_size;
+      sim::TraceArgs bargs;
+      bargs.add("queries", static_cast<std::uint64_t>(batch_n));
+      bargs.add("idle_ns", timing.idle_ns);
+      bargs.add("active_ns", timing.active_ns);
+      tracer->complete(tpid, batch_tid, "batch " + std::to_string(batch_index),
+                       batch_ready, done - batch_ready, std::move(bargs),
+                       "batch");
+      for (std::size_t b = 0; b < batch_n; ++b) {
+        const double own_end = kernel_start + timing.query_final[b];
+        sim::TraceArgs qargs;
+        qargs.add("query", static_cast<std::uint64_t>(batch[b].query_index));
+        tracer->complete(tpid, slot_tid[b],
+                         "q" + std::to_string(batch[b].query_index),
+                         kernel_start, own_end - kernel_start,
+                         std::move(qargs), "cta");
+        // The §III-A query bubble: finished, but barriered on the batch.
+        if (done > own_end) {
+          sim::TraceArgs wargs;
+          wargs.add("wait_ns", done - own_end);
+          tracer->complete(tpid, slot_tid[b], "bubble", own_end,
+                           done - own_end, std::move(wargs), "bubble");
+        }
+      }
+      tracer->counter(tpid, "delivered", done,
+                      static_cast<double>(cursor_q));
+    }
+
     for (std::size_t b = 0; b < batch_n; ++b) {
       metrics::QueryRecord rec;
       rec.query_index = batch[b].query_index;
@@ -143,6 +192,11 @@ core::EngineReport StaticBatchEngine::run(
 
   core::EngineReport rep;
   rep.summary = collector.summarize();
+  rep.trace_events =
+      tracer ? tracer->events_recorded() - trace_events_before : 0;
+  if (tracer && tracer == sim::default_tracer()) {
+    tracer->save(sim::trace_default_path());
+  }
   const auto total = channel.total();
   rep.pcie_transactions = total.transactions;
   rep.pcie_bytes = total.bytes;

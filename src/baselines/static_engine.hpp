@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "baselines/batch_runner.hpp"
 #include "core/engine.hpp"
@@ -34,6 +35,12 @@ struct StaticConfig {
   sim::DeviceProps device = sim::DeviceProps::rtx_a6000();
   sim::CostModel cost;
   std::uint64_t seed = 1;
+  /// Optional SimTrace sink (not owned). Null falls back to the ALGAS_TRACE
+  /// default tracer; null there too means untraced. Pure observer — tracing
+  /// never changes timing or the report.
+  sim::Tracer* tracer = nullptr;
+  /// Trace process label (GannsEngine substitutes its own).
+  std::string trace_label = "static-batch";
 };
 
 class StaticBatchEngine {

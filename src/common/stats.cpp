@@ -8,6 +8,13 @@
 namespace algas {
 
 void SampleStats::add(double v) {
+  if (samples_.empty()) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
   samples_.push_back(v);
   sum_ += v;
   sorted_valid_ = false;
@@ -22,6 +29,8 @@ void SampleStats::clear() {
   sorted_.clear();
   sorted_valid_ = false;
   sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
 }
 
 double SampleStats::mean() const {
@@ -46,15 +55,9 @@ const std::vector<double>& SampleStats::sorted() const {
   return sorted_;
 }
 
-double SampleStats::min() const {
-  if (samples_.empty()) return 0.0;
-  return sorted().front();
-}
+double SampleStats::min() const { return samples_.empty() ? 0.0 : min_; }
 
-double SampleStats::max() const {
-  if (samples_.empty()) return 0.0;
-  return sorted().back();
-}
+double SampleStats::max() const { return samples_.empty() ? 0.0 : max_; }
 
 double SampleStats::percentile(double p) const {
   if (samples_.empty()) return 0.0;
@@ -76,12 +79,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double v) {
-  double idx = (v - lo_) / width_;
-  auto bin = static_cast<std::ptrdiff_t>(std::floor(idx));
-  bin = std::clamp<std::ptrdiff_t>(
-      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
+  if (v < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin =
+      static_cast<std::ptrdiff_t>(std::floor((v - lo_) / width_));
+  if (bin >= static_cast<std::ptrdiff_t>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(bin)];
 }
 
 double Histogram::bin_lo(std::size_t i) const {
@@ -94,13 +103,21 @@ double Histogram::bin_hi(std::size_t i) const {
 
 std::string Histogram::to_tsv() const {
   std::ostringstream out;
+  const auto frac_of_total = [this](std::size_t c) {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(c) / static_cast<double>(total_);
+  };
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const double frac =
-        total_ == 0 ? 0.0
-                    : static_cast<double>(counts_[i]) /
-                          static_cast<double>(total_);
     out << bin_lo(i) << '\t' << bin_hi(i) << '\t' << counts_[i] << '\t'
-        << frac << '\n';
+        << frac_of_total(counts_[i]) << '\n';
+  }
+  if (underflow_ > 0) {
+    out << "-inf\t" << lo_ << '\t' << underflow_ << '\t'
+        << frac_of_total(underflow_) << '\n';
+  }
+  if (overflow_ > 0) {
+    out << hi_ << "\tinf\t" << overflow_ << '\t' << frac_of_total(overflow_)
+        << '\n';
   }
   return out.str();
 }

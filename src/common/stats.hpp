@@ -39,9 +39,14 @@ class SampleStats {
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
   double sum_ = 0.0;
+  // Running extrema: min()/max() must not force the lazy percentile sort.
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
-/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are counted
+/// separately as underflow/overflow — not silently clamped into the edge
+/// bins, which would fabricate mass at the range boundaries.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -51,15 +56,22 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
+  /// All samples ever added, including out-of-range ones.
   std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }  ///< samples < lo
+  std::size_t overflow() const { return overflow_; }    ///< samples >= hi
 
-  /// One line per bin: "lo<TAB>hi<TAB>count<TAB>fraction".
+  /// One line per bin: "lo<TAB>hi<TAB>count<TAB>fraction". When any sample
+  /// fell outside [lo, hi), trailing "-inf lo" / "hi inf" rows report the
+  /// underflow/overflow counts. Fractions are of total().
   std::string to_tsv() const;
 
  private:
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace algas

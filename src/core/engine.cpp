@@ -12,8 +12,18 @@
 #include "search/multi_cta.hpp"
 #include "search/topk_merge.hpp"
 #include "simgpu/simulation.hpp"
+#include "simgpu/trace.hpp"
 
 namespace algas::core {
+
+std::size_t visited_clear_words(std::size_t num_base,
+                                std::size_t n_parallel) {
+  // ceil on both levels: the bitmap's trailing partial word AND the split's
+  // remainder words are charged. The seed's `words / n_parallel + 1` formula
+  // mis-sized the per-CTA share — off by one full word whenever n_parallel
+  // divides the word count, and drifting as n_parallel grows.
+  return ceil_div(ceil_div(num_base, 64), std::max<std::size_t>(1, n_parallel));
+}
 
 const char* host_sync_name(HostSync s) {
   switch (s) {
@@ -44,6 +54,7 @@ struct SlotRuntime {
   std::size_t finished_ctas = 0;
   bool complete = false;
   SimTime gpu_done_ns = 0.0;  // when the slot's last CTA flagged Finish
+  std::uint64_t flow_id = 0;  // trace flow arrow: dispatch -> slot span
 };
 
 struct RunState;
@@ -66,12 +77,23 @@ class CtaActor final : public sim::Actor {
   double busy_ns_ = 0.0;
 };
 
+/// One engine run's trace wiring: lane ids under one process group.
+struct TraceLanes {
+  sim::Tracer* tracer = nullptr;  // null = untraced run
+  int pid = 0;
+  int slot_tid0 = 0;
+  int cta_tid0 = 0;
+  int host_tid0 = 0;
+  int link_tid = 0;
+};
+
 /// One host worker thread: dispatches queries into its slots, polls their
 /// states, fetches + merges results, retires slots when the workload drains.
 class HostWorker final : public sim::Actor {
  public:
-  HostWorker(RunState& run, std::vector<std::size_t> my_slots)
-      : run_(run), my_slots_(std::move(my_slots)) {}
+  HostWorker(RunState& run, std::size_t index,
+             std::vector<std::size_t> my_slots)
+      : run_(run), index_(index), my_slots_(std::move(my_slots)) {}
   void step(sim::Simulation& sim) override;
   const char* name() const override { return "host-worker"; }
 
@@ -81,6 +103,7 @@ class HostWorker final : public sim::Actor {
                           double* elapsed);
 
   RunState& run_;
+  std::size_t index_;  ///< worker ordinal (trace lane)
   std::vector<std::size_t> my_slots_;
   std::size_t cursor_ = 0;  ///< round-robin scan start (fairness)
 };
@@ -130,6 +153,8 @@ struct RunState {
   std::uint64_t interrupts = 0;
   std::uint64_t worker_steps = 0;
   double worker_busy_ns = 0.0;
+  TraceLanes trace;
+  std::size_t in_flight = 0;  // trace counter: dispatched, not yet delivered
 
   bool workload_exhausted() const { return qm.empty(); }
 };
@@ -153,7 +178,7 @@ void CtaActor::step(sim::Simulation& sim) {
         // Start-of-query: load query to shared memory, clear this CTA's
         // share of the visited bitmap (§IV-B step 1), seed the entry point.
         const std::size_t words =
-            ceil_div(run_.ds.num_base(), 64) / run_.plan.n_parallel + 1;
+            visited_clear_words(run_.ds.num_base(), run_.plan.n_parallel);
         elapsed += cm.cta_start_ns +
                    static_cast<double>(words) * cm.bitmap_clear_per_word_ns;
         search_.reset(run_.ds.query(rt.query_index), rt.entries[cta_],
@@ -195,6 +220,17 @@ void CtaActor::step(sim::Simulation& sim) {
         active_ = false;
       }
       busy_ns_ += elapsed;
+      if (run_.trace.tracer) {
+        sim::TraceArgs args;
+        args.add("slot", static_cast<std::uint64_t>(slot_));
+        args.add("query", static_cast<std::uint64_t>(rt.query_index));
+        run_.trace.tracer->complete(
+            run_.trace.pid,
+            run_.trace.cta_tid0 +
+                static_cast<int>(slot_ * run_.plan.n_parallel + cta_),
+            "q" + std::to_string(rt.query_index), sim.now(), elapsed,
+            std::move(args), "cta");
+      }
       sim.schedule(this, sim.now() + elapsed);
       return;
     }
@@ -238,6 +274,16 @@ bool HostWorker::dispatch(sim::Simulation& sim, std::size_t slot,
   for (std::size_t c = 0; c < run_.plan.n_parallel; ++c) {
     run_.sync.host_write(sim.now(), slot, c, SlotState::kWork, elapsed);
   }
+  ++run_.in_flight;
+  if (run_.trace.tracer) {
+    auto& tr = *run_.trace.tracer;
+    rt.flow_id = tr.new_flow_id();
+    tr.flow_begin(run_.trace.pid,
+                  run_.trace.host_tid0 + static_cast<int>(index_), "query",
+                  rt.flow_id, rt.dispatch_ns);
+    tr.counter(run_.trace.pid, "in-flight queries", rt.dispatch_ns,
+               static_cast<double>(run_.in_flight));
+  }
   return true;
 }
 
@@ -271,9 +317,28 @@ void HostWorker::fetch_and_complete(sim::Simulation& sim, std::size_t slot,
   rec.rounds = rt.rounds;
   rec.gpu_cost = rt.gpu_cost;
   rec.results = std::move(topk);
+  const SimTime done_ns = rec.done_ns;
   run_.collector.add(std::move(rec));
   ++run_.delivered;
+  --run_.in_flight;
   rt.busy = false;
+  if (run_.trace.tracer) {
+    auto& tr = *run_.trace.tracer;
+    const int slot_tid = run_.trace.slot_tid0 + static_cast<int>(slot);
+    sim::TraceArgs args;
+    args.add("query", static_cast<std::uint64_t>(rt.query_index));
+    args.add("steps", static_cast<std::uint64_t>(rt.steps));
+    args.add("rounds", static_cast<std::uint64_t>(rt.rounds));
+    // Slot occupancy: dispatch to delivery, one span per served query.
+    tr.complete(run_.trace.pid, slot_tid,
+                "q" + std::to_string(rt.query_index), rt.dispatch_ns,
+                done_ns - rt.dispatch_ns, std::move(args), "slot");
+    tr.flow_end(run_.trace.pid, slot_tid, "query", rt.flow_id, done_ns);
+    tr.counter(run_.trace.pid, "in-flight queries", done_ns,
+               static_cast<double>(run_.in_flight));
+    tr.counter(run_.trace.pid, "delivered", done_ns,
+               static_cast<double>(run_.delivered));
+  }
 }
 
 void HostWorker::step(sim::Simulation& sim) {
@@ -341,6 +406,12 @@ void HostWorker::step(sim::Simulation& sim) {
   for (std::size_t s : my_slots_) all_retired &= run_.slots[s].quit;
 
   run_.worker_busy_ns += elapsed;
+  if (run_.trace.tracer) {
+    run_.trace.tracer->complete(
+        run_.trace.pid, run_.trace.host_tid0 + static_cast<int>(index_),
+        progress ? "step" : "poll", sim.now(), elapsed, sim::TraceArgs{},
+        "host");
+  }
   if (all_retired) return;  // worker thread exits
 
   double next = sim.now() + elapsed;
@@ -432,6 +503,39 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
     run.sync.set_checker(protocol.get());
   }
 
+  // SimTrace wiring mirrors SimCheck: explicit tracer wins, otherwise the
+  // process-wide ALGAS_TRACE tracer, otherwise null (zero-cost untraced).
+  sim::Tracer* tracer = cfg_.tracer ? cfg_.tracer : sim::default_tracer();
+  std::uint64_t trace_events_before = 0;
+  if (tracer) {
+    trace_events_before = tracer->events_recorded();
+    TraceLanes& tl = run.trace;
+    tl.tracer = tracer;
+    tl.pid = tracer->begin_process(std::string("algas:") +
+                                   host_sync_name(cfg_.host_sync));
+    tl.link_tid = tracer->lane(tl.pid, "pcie link");
+    const std::size_t n_workers =
+        std::min(cfg_.host_threads, std::max<std::size_t>(1, cfg_.slots));
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      const int tid = tracer->lane(tl.pid, "host " + std::to_string(w));
+      if (w == 0) tl.host_tid0 = tid;
+    }
+    for (std::size_t s = 0; s < cfg_.slots; ++s) {
+      const int tid = tracer->lane(tl.pid, "slot " + std::to_string(s));
+      if (s == 0) tl.slot_tid0 = tid;
+    }
+    for (std::size_t s = 0; s < cfg_.slots; ++s) {
+      for (std::size_t c = 0; c < plan_.n_parallel; ++c) {
+        const int tid = tracer->lane(tl.pid, "cta s" + std::to_string(s) +
+                                                 ".c" + std::to_string(c));
+        if (s == 0 && c == 0) tl.cta_tid0 = tid;
+      }
+    }
+    run.channel.set_tracer(tracer, tl.pid, tl.link_tid);
+    run.sync.set_tracer(tracer, tl.pid, tl.slot_tid0);
+    run.sim.set_tracer(tracer);
+  }
+
   for (const auto& a : arrivals) run.qm.push(a);
   run.total_queries = arrivals.size();
 
@@ -462,7 +566,8 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
   run.worker_of_slot.assign(cfg_.slots, nullptr);
   for (auto& slots : owned) {
     if (slots.empty()) continue;
-    auto worker = std::make_unique<HostWorker>(run, slots);
+    auto worker =
+        std::make_unique<HostWorker>(run, run.workers.size(), slots);
     for (std::size_t s : slots) run.worker_of_slot[s] = worker.get();
     run.workers.push_back(std::move(worker));
     run.sim.schedule(run.workers.back().get(), 0.0);
@@ -483,6 +588,13 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
   rep.plan = plan_;
   rep.sim_events = run.sim.events_processed();
   rep.simcheck_checks = check ? check->checks_performed() : 0;
+  rep.trace_events =
+      tracer ? tracer->events_recorded() - trace_events_before : 0;
+  // The process-wide tracer accumulates across runs: rewrite the file after
+  // each so multi-engine benches end with every run in one Perfetto file.
+  if (tracer && tracer == sim::default_tracer()) {
+    tracer->save(sim::trace_default_path());
+  }
   rep.host_polls = run.sync.host_polls();
   rep.interrupts = run.interrupts;
   rep.host_worker_steps = run.worker_steps;

@@ -52,7 +52,18 @@ struct AlgasConfig {
   /// charges virtual time, so checked and unchecked runs produce identical
   /// latency/throughput numbers.
   sim::SimCheck* checker = nullptr;
+  /// Optional SimTrace timeline sink (not owned). Null falls back to the
+  /// process-wide ALGAS_TRACE tracer (sim::default_tracer()); null there
+  /// too means untraced. Like the checker, tracing never charges virtual
+  /// time — traced and untraced runs are bit-identical in every measured
+  /// quantity, including sim_events and the bench TSV.
+  sim::Tracer* tracer = nullptr;
 };
+
+/// Number of 64-bit visited-bitmap words one CTA clears at start of query:
+/// the ceil_div(num_base, 64)-word bitmap is split evenly across the
+/// slot's n_parallel CTAs (§IV-B step 1).
+std::size_t visited_clear_words(std::size_t num_base, std::size_t n_parallel);
 
 /// Common result shape for all engines (ALGAS and baselines).
 struct EngineReport {
@@ -73,6 +84,8 @@ struct EngineReport {
   std::uint64_t sim_events = 0;
   /// Invariant evaluations performed by SimCheck (0 = run was unchecked).
   std::uint64_t simcheck_checks = 0;
+  /// SimTrace events this run recorded (0 = run was untraced).
+  std::uint64_t trace_events = 0;
 };
 
 class AlgasEngine {

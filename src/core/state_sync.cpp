@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/protocol_checker.hpp"
+#include "simgpu/trace.hpp"
 
 namespace algas::core {
 
@@ -43,6 +44,7 @@ SlotState StateSync::host_read(SimTime now, std::size_t slot, std::size_t cta,
 void StateSync::host_write(SimTime now, std::size_t slot, std::size_t cta,
                            SlotState next, double* elapsed) {
   SlotState& s = at(slot, cta);
+  const SlotState prev = s;
   if (checker_) {
     checker_->pre_write(Side::kHost, now + *elapsed, slot, cta, s, next);
   }
@@ -62,6 +64,7 @@ void StateSync::host_write(SimTime now, std::size_t slot, std::size_t cta,
   if (checker_) {
     checker_->post_write(Side::kHost, now + *elapsed, slot, cta, next);
   }
+  trace_transition(Side::kHost, now + *elapsed, slot, cta, prev, next);
 }
 
 SlotState StateSync::device_read(SimTime now, std::size_t slot,
@@ -77,6 +80,7 @@ SlotState StateSync::device_read(SimTime now, std::size_t slot,
 void StateSync::device_write(SimTime now, std::size_t slot, std::size_t cta,
                              SlotState next, double* elapsed) {
   SlotState& s = at(slot, cta);
+  const SlotState prev = s;
   if (checker_) {
     checker_->pre_write(Side::kDevice, now + *elapsed, slot, cta, s, next);
   }
@@ -97,6 +101,21 @@ void StateSync::device_write(SimTime now, std::size_t slot, std::size_t cta,
   if (checker_) {
     checker_->post_write(Side::kDevice, now + *elapsed, slot, cta, next);
   }
+  trace_transition(Side::kDevice, now + *elapsed, slot, cta, prev, next);
+}
+
+void StateSync::trace_transition(Side side, SimTime t, std::size_t slot,
+                                 std::size_t cta, SlotState from,
+                                 SlotState to) {
+  if (!trace_) return;
+  sim::TraceArgs args;
+  args.add("cta", static_cast<std::uint64_t>(cta));
+  args.add("side", side_name(side));
+  trace_->instant(trace_pid_,
+                  trace_tid_base_ + static_cast<int>(slot),
+                  std::string(slot_state_name(from)) + "->" +
+                      slot_state_name(to),
+                  t, std::move(args), "state");
 }
 
 bool StateSync::host_all_in_state(SimTime now, std::size_t slot, SlotState s,

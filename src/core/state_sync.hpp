@@ -39,6 +39,16 @@ class StateSync {
   /// transitions fail with the checker's trace-carrying diagnostics.
   void set_checker(ProtocolChecker* checker) { checker_ = checker; }
 
+  /// Attach a SimTrace sink (not owned; null disables). Every applied
+  /// state transition emits a "<from>-><to>" instant on the slot's lane
+  /// (`slot_tid_base + slot` under `pid`), stamped at the write's charged
+  /// completion time. Pure observer — costs and traffic are unchanged.
+  void set_tracer(sim::Tracer* t, int pid, int slot_tid_base) {
+    trace_ = t;
+    trace_pid_ = pid;
+    trace_tid_base_ = slot_tid_base;
+  }
+
   /// Cost-free state inspection (no polling cost, no counters). For
   /// checker drain reports and tests only — engines must poll.
   SlotState peek(std::size_t slot, std::size_t cta) const {
@@ -78,8 +88,15 @@ class StateSync {
     return states_[slot * ctas_ + cta];
   }
 
+  /// Trace hook shared by host_write/device_write (after the transition).
+  void trace_transition(Side side, SimTime t, std::size_t slot,
+                        std::size_t cta, SlotState from, SlotState to);
+
   sim::Channel* channel_;
   ProtocolChecker* checker_ = nullptr;
+  sim::Tracer* trace_ = nullptr;
+  int trace_pid_ = 0;
+  int trace_tid_base_ = 0;
   sim::CostModel cm_;
   std::size_t slots_;
   std::size_t ctas_;

@@ -60,6 +60,14 @@ RunSummary Collector::summarize() const {
 std::vector<double> Collector::sorted_latencies_us() const {
   std::vector<double> out;
   out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.latency_ns() / 1000.0);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> Collector::sorted_service_us() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
   for (const auto& r : records_) out.push_back(r.service_ns() / 1000.0);
   std::sort(out.begin(), out.end());
   return out;

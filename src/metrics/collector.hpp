@@ -66,8 +66,14 @@ class Collector {
 
   RunSummary summarize() const;
 
-  /// Sorted per-query service latencies in microseconds (Fig 13's series).
+  /// Sorted per-query end-to-end latencies (arrival -> completion) in
+  /// microseconds. Note: despite the name this used to return *service*
+  /// latencies; it now matches QueryRecord::latency_ns().
   std::vector<double> sorted_latencies_us() const;
+
+  /// Sorted per-query service latencies (dispatch -> completion) in
+  /// microseconds (Fig 13's series).
+  std::vector<double> sorted_service_us() const;
 
   /// Per-query step counts (Figs 1, 2).
   std::vector<double> step_counts() const;

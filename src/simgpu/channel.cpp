@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "simgpu/trace.hpp"
+
 namespace algas::sim {
+
+const char* xfer_name(Xfer purpose) {
+  switch (purpose) {
+    case Xfer::kStatePoll: return "state-poll";
+    case Xfer::kStateWrite: return "state-write";
+    case Xfer::kQuery: return "query";
+    case Xfer::kResult: return "result";
+    case Xfer::kBulk: return "bulk";
+    case Xfer::kCount_: break;
+  }
+  return "invalid";
+}
 
 SimTime Channel::transfer(SimTime now, std::size_t bytes, Xfer purpose) {
   return post(now, bytes, purpose) + cm_.pcie_latency_ns;
@@ -12,6 +26,11 @@ SimTime Channel::post(SimTime now, std::size_t bytes, Xfer purpose) {
   auto& ctr = counters_[static_cast<std::size_t>(purpose)];
   ++ctr.transactions;
   ctr.bytes += bytes;
+  if (trace_) {
+    trace_->counter(trace_pid_,
+                    std::string("pcie ") + xfer_name(purpose) + " bytes",
+                    now, static_cast<double>(ctr.bytes));
+  }
 
   const SimTime occupancy = cm_.transfer_occupancy_ns(bytes);
   busy_time_ += occupancy;
@@ -22,6 +41,16 @@ SimTime Channel::post(SimTime now, std::size_t bytes, Xfer purpose) {
   // for header + payload time; propagation latency does not block others.
   const SimTime start = std::max(now, next_free_);
   next_free_ = start + occupancy;
+  if (trace_) {
+    TraceArgs args;
+    args.add("bytes", static_cast<std::uint64_t>(bytes));
+    args.add("wait_ns", start - now);
+    trace_->complete(trace_pid_, trace_tid_, xfer_name(purpose), start,
+                     occupancy, std::move(args), "pcie");
+    const std::uint64_t flow = trace_->new_flow_id();
+    trace_->flow_begin(trace_pid_, trace_tid_, "xfer", flow, start);
+    trace_->flow_end(trace_pid_, trace_tid_, "xfer", flow, next_free_);
+  }
   return next_free_ - now;
 }
 

@@ -15,6 +15,8 @@
 
 namespace algas::sim {
 
+class Tracer;
+
 enum class Xfer : std::uint8_t {
   kStatePoll = 0,   ///< host reads a device-resident state word
   kStateWrite,      ///< host or device writes a state word across the link
@@ -23,6 +25,8 @@ enum class Xfer : std::uint8_t {
   kBulk,            ///< index upload, batch query/result blocks
   kCount_,
 };
+
+const char* xfer_name(Xfer purpose);
 
 struct XferCounters {
   std::uint64_t transactions = 0;
@@ -61,8 +65,21 @@ class Channel {
 
   void reset_counters();
 
+  /// Attach a SimTrace sink (not owned; null disables). Every transaction
+  /// emits a cumulative per-purpose byte counter under `pid`; data-plane
+  /// transfers additionally render their link occupancy as a span (plus a
+  /// flow pair) on lane `link_tid`. Pure observer — costs are unchanged.
+  void set_tracer(Tracer* t, int pid, int link_tid) {
+    trace_ = t;
+    trace_pid_ = pid;
+    trace_tid_ = link_tid;
+  }
+
  private:
   CostModel cm_;
+  Tracer* trace_ = nullptr;
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
   SimTime next_free_ = 0.0;
   double busy_time_ = 0.0;
   std::array<XferCounters, static_cast<std::size_t>(Xfer::kCount_)> counters_{};

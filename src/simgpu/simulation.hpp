@@ -23,6 +23,7 @@ namespace algas::sim {
 
 class SimCheck;
 class Simulation;
+class Tracer;
 
 /// Base class for everything that consumes virtual time.
 class Actor {
@@ -72,6 +73,13 @@ class Simulation {
   void set_checker(SimCheck* check) { check_ = check; }
   SimCheck* checker() const { return check_; }
 
+  /// Attach a SimTrace event sink (not owned; null disables). Like the
+  /// checker, the tracer is a pure observer reachable from actors during
+  /// step() — it records timeline events but never advances or charges
+  /// virtual time, so traced and untraced runs are bit-identical.
+  void set_tracer(Tracer* t) { trace_ = t; }
+  Tracer* tracer() const { return trace_; }
+
  private:
   struct Event {
     SimTime time;
@@ -92,6 +100,7 @@ class Simulation {
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;
   SimCheck* check_ = nullptr;
+  Tracer* trace_ = nullptr;
 };
 
 }  // namespace algas::sim

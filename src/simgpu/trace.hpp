@@ -1,0 +1,133 @@
+// SimTrace — Perfetto-compatible timeline tracing for the DES substrate.
+//
+// A Tracer is a zero-virtual-time event sink, wired exactly like SimCheck:
+// engines and substrate components hold a nullable pointer, and a null
+// tracer is the zero-cost disabled path (one branch per hook site). The
+// tracer records per-actor duration spans (CTA work slices, host-worker
+// steps), instant events (Fig 5 slot-state transitions), counters
+// (in-flight queries, delivered, per-Xfer PCIe bytes) and flow arrows
+// (query dispatch -> slot occupancy), all stamped with *virtual* time.
+// It never schedules events and never charges virtual nanoseconds, so a
+// traced run is bit-identical in every measured quantity to an untraced
+// one — the guarantee tests/test_trace.cpp pins.
+//
+// Serialization is the Chrome trace-event JSON object format, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing. Timestamps are
+// emitted in microseconds (the format's unit) at nanosecond precision.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace algas::sim {
+
+/// Ordered key/value list rendered into one event's "args" object.
+/// Values are pre-rendered to JSON at add() time so storage is uniform.
+class TraceArgs {
+ public:
+  TraceArgs& add(const std::string& key, const std::string& v);
+  TraceArgs& add(const std::string& key, const char* v);
+  TraceArgs& add(const std::string& key, double v);
+  TraceArgs& add(const std::string& key, std::uint64_t v);
+
+  bool empty() const { return kv_.empty(); }
+  /// (key, JSON-rendered value) pairs, for test inspection.
+  const std::vector<std::pair<std::string, std::string>>& items() const {
+    return kv_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Chrome trace-event phases the tracer emits.
+enum class TracePhase : char {
+  kComplete = 'X',   ///< duration span (ts + dur)
+  kInstant = 'i',    ///< point event, thread-scoped
+  kCounter = 'C',    ///< sampled counter value
+  kFlowBegin = 's',  ///< flow arrow tail (binds to the enclosing slice)
+  kFlowEnd = 'f',    ///< flow arrow head
+  kMetadata = 'M',   ///< process/thread naming
+};
+
+/// One recorded event. Kept in memory until write_json()/save().
+struct TraceEventRec {
+  TracePhase ph = TracePhase::kInstant;
+  int pid = 0;
+  int tid = 0;
+  SimTime ts_ns = 0.0;
+  SimTime dur_ns = 0.0;       ///< kComplete only
+  std::uint64_t flow_id = 0;  ///< flow phases only
+  std::string name;
+  std::string cat;
+  TraceArgs args;
+};
+
+class Tracer {
+ public:
+  /// Open a new process group (one engine run) named `label`. Runs traced
+  /// into one file render as separate process groups, which is what makes
+  /// dynamic-vs-static timelines directly comparable side by side.
+  int begin_process(const std::string& label);
+
+  /// Register a named lane (a Perfetto "thread") under `pid`. Lanes sort
+  /// in registration order. Returns the tid.
+  int lane(int pid, const std::string& name);
+
+  /// Duration span [start_ns, start_ns + dur_ns) on one lane.
+  void complete(int pid, int tid, const std::string& name, SimTime start_ns,
+                SimTime dur_ns, TraceArgs args = {},
+                const std::string& cat = "span");
+
+  /// Thread-scoped instant event.
+  void instant(int pid, int tid, const std::string& name, SimTime t_ns,
+               TraceArgs args = {}, const std::string& cat = "instant");
+
+  /// Counter sample (rendered as a per-process counter track).
+  void counter(int pid, const std::string& name, SimTime t_ns, double value);
+
+  /// Flow arrow tail/head. Matching (name, id) pairs connect the slices
+  /// enclosing the two timestamps. Allocate ids with new_flow_id().
+  void flow_begin(int pid, int tid, const std::string& name,
+                  std::uint64_t id, SimTime t_ns);
+  void flow_end(int pid, int tid, const std::string& name, std::uint64_t id,
+                SimTime t_ns);
+
+  /// Process-unique flow identifier.
+  std::uint64_t new_flow_id() { return ++next_flow_id_; }
+
+  std::uint64_t events_recorded() const { return events_.size(); }
+  /// In-memory event list (tests assert span nesting / transition legality
+  /// on this rather than re-parsing JSON).
+  const std::vector<TraceEventRec>& events() const { return events_; }
+
+  /// Chrome trace-event JSON object format: {"traceEvents": [...], ...}.
+  void write_json(std::ostream& os) const;
+
+  /// write_json() to `path`. Throws std::runtime_error on IO failure.
+  void save(const std::string& path) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEventRec> events_;
+  int next_pid_ = 0;
+  std::vector<int> next_tid_;  ///< per-pid lane counter (pid is the index)
+  std::uint64_t next_flow_id_ = 0;
+};
+
+/// The ALGAS_TRACE environment override: trace output path, "" when unset.
+const std::string& trace_default_path();
+
+/// Process-wide tracer bound to ALGAS_TRACE, or null when the variable is
+/// unset. Engines fall back to this when no explicit tracer is configured
+/// and rewrite the file after every run, so a multi-run bench accumulates
+/// all its runs into one trace.
+Tracer* default_tracer();
+
+}  // namespace algas::sim

@@ -138,17 +138,46 @@ TEST(SampleStats, AppendInvalidatesSort) {
   EXPECT_DOUBLE_EQ(s.max(), 10.0);
 }
 
-TEST(Histogram, BinningAndClamp) {
+TEST(SampleStats, ExtremaTrackedWithoutSort) {
+  // min()/max() are running extrema: correct immediately after every add
+  // and after clear(), without touching the lazy percentile sort.
+  SampleStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  s.add(-7.0);
+  s.add(11.0);
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 11.0);
+  s.clear();
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
+TEST(Histogram, BinningAndOutOfRange) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);    // bin 0
   h.add(9.99);   // bin 9
-  h.add(-5.0);   // clamps to bin 0
-  h.add(42.0);   // clamps to bin 9
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(9), 2u);
+  h.add(-5.0);   // below range: counted as underflow, not clamped in
+  h.add(42.0);   // above range: counted as overflow, not clamped in
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, UpperEdgeIsOverflow) {
+  // [lo, hi) is half-open: a sample exactly at hi overflows.
+  Histogram h(0.0, 4.0, 4);
+  h.add(4.0);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(3), 0u);
 }
 
 TEST(Histogram, RejectsBadArgs) {
@@ -161,6 +190,18 @@ TEST(Histogram, TsvHasOneLinePerBin) {
   h.add(1.0);
   const std::string tsv = h.to_tsv();
   EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 4);
+}
+
+TEST(Histogram, TsvAppendsOutOfRangeRows) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  h.add(-1.0);
+  h.add(99.0);
+  const std::string tsv = h.to_tsv();
+  // 4 bin rows + underflow row + overflow row.
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 6);
+  EXPECT_NE(tsv.find("-inf\t0\t1\t"), std::string::npos);
+  EXPECT_NE(tsv.find("4\tinf\t1\t"), std::string::npos);
 }
 
 // ---------------- bitset.hpp ----------------

@@ -434,6 +434,41 @@ TEST(QueryManager, EmptyNextArrivalIsInfinite) {
 
 // ---------------- engine.hpp ----------------
 
+TEST(VisitedClearWords, NonDivisibleWordCountPinned) {
+  // num_base=1001 -> ceil(1001/64) = 16 bitmap words. Split across 4 CTAs
+  // each clears ceil(16/4) = 4. The seed formula (16/4 + 1 = 5) charged a
+  // phantom extra word whenever n_parallel divided the word count.
+  EXPECT_EQ(visited_clear_words(1001, 4), 4u);
+  // 17 words over 4 CTAs: the remainder word is charged (ceil, not floor).
+  EXPECT_EQ(visited_clear_words(1025, 4), 5u);
+  // Degenerate inputs stay sane.
+  EXPECT_EQ(visited_clear_words(1, 1), 1u);
+  EXPECT_EQ(visited_clear_words(64, 1), 1u);
+  EXPECT_EQ(visited_clear_words(65, 1), 2u);
+  EXPECT_EQ(visited_clear_words(1000, 0), 16u);  // n_parallel clamped to 1
+}
+
+TEST(VisitedClearWords, PerCtaSharesCoverWholeBitmap) {
+  // The per-CTA share times the CTA count must cover every bitmap word and
+  // never exceed it by more than one partial round of slack.
+  for (std::size_t num_base : {63u, 64u, 65u, 1000u, 1001u, 4096u, 100000u}) {
+    const std::size_t words = ceil_div(num_base, std::size_t{64});
+    for (std::size_t n : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      const std::size_t share = visited_clear_words(num_base, n);
+      EXPECT_GE(share * n, words) << num_base << "/" << n;
+      EXPECT_LT((share - 1) * n, words) << num_base << "/" << n;
+    }
+  }
+}
+
+TEST(VisitedClearWords, ChargedCostMatchesFormula) {
+  // The virtual nanoseconds a CTA pays at query start for its bitmap share.
+  const sim::CostModel cm;
+  const double charged = static_cast<double>(visited_clear_words(1001, 4)) *
+                         cm.bitmap_clear_per_word_ns;
+  EXPECT_DOUBLE_EQ(charged, 4.0 * cm.bitmap_clear_per_word_ns);
+}
+
 AlgasConfig tiny_engine_config() {
   AlgasConfig cfg;
   cfg.search.topk = 10;

@@ -122,12 +122,24 @@ TEST(Collector, BubbleWaste) {
 }
 
 TEST(Collector, SortedLatenciesAscending) {
+  // Dispatch lags arrival by 500ns so latency (arrival -> done) and service
+  // (dispatch -> done) are distinguishable — the old implementation returned
+  // service times from sorted_latencies_us().
   Collector c;
-  c.add(make_record(0, 0.0, 0.0, 5000.0, 1));
-  c.add(make_record(1, 0.0, 0.0, 1000.0, 1));
-  c.add(make_record(2, 0.0, 0.0, 3000.0, 1));
+  c.add(make_record(0, 0.0, 500.0, 5000.0, 1));
+  c.add(make_record(1, 0.0, 500.0, 1000.0, 1));
+  c.add(make_record(2, 0.0, 500.0, 3000.0, 1));
   const auto v = c.sorted_latencies_us();
   EXPECT_EQ(v, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(Collector, SortedServiceExcludesQueueing) {
+  Collector c;
+  c.add(make_record(0, 0.0, 500.0, 5000.0, 1));
+  c.add(make_record(1, 0.0, 500.0, 1000.0, 1));
+  c.add(make_record(2, 0.0, 500.0, 3000.0, 1));
+  const auto v = c.sorted_service_us();
+  EXPECT_EQ(v, (std::vector<double>{0.5, 2.5, 4.5}));
 }
 
 TEST(Collector, EmptySummaryIsZero) {

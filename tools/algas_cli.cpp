@@ -11,6 +11,7 @@
 //                    cagra|ganns|ivf] [--topk 16] [--list 128] [--slots 16]
 //                    [--nparallel 4] [--beam 4] [--queries N] [--sync
 //                    mirrored|naive|blocking] [--nprobe 8]
+//                    [--trace out.json]  (SimTrace timeline; open in Perfetto)
 //
 // Every command prints a short human-readable report to stdout.
 #include <cstdio>
@@ -174,7 +175,16 @@ int cmd_search(const Args& args) {
   const std::size_t slots = args.get_size("slots", 16);
   const std::size_t queries = args.get_size("queries", ds.num_queries());
 
+  // --trace: explicit SimTrace sink, written once the run completes. Pure
+  // observer — identical results and virtual time with or without it.
+  const std::string trace_path = args.get_or("trace", "");
+  sim::Tracer tracer;
+  sim::Tracer* const trace = trace_path.empty() ? nullptr : &tracer;
+
   if (engine == "ivf") {
+    if (trace) {
+      std::printf("note: the ivf baseline is untraced; --trace ignored\n");
+    }
     baselines::IvfConfig cfg;
     cfg.topk = topk;
     cfg.nprobe = args.get_size("nprobe", 8);
@@ -194,6 +204,7 @@ int cmd_search(const Args& args) {
     cfg.n_parallel = args.get_size("nparallel", 0);
     cfg.host_threads = args.get_size("hosts", 1);
     cfg.host_sync = parse_sync(args.get_or("sync", "mirrored"));
+    cfg.tracer = trace;
     core::AlgasEngine e(ds, g, cfg);
     std::printf("plan: %s\n", e.plan().describe().c_str());
     print_report("algas", e.run_closed_loop(queries));
@@ -203,6 +214,7 @@ int cmd_search(const Args& args) {
     cfg.search.candidate_len = list;
     cfg.batch_size = slots;
     cfg.n_parallel = args.get_size("nparallel", 4);
+    cfg.tracer = trace;
     baselines::StaticBatchEngine e(ds, g, cfg);
     print_report("cagra", e.run_closed_loop(queries));
   } else if (engine == "ganns") {
@@ -210,10 +222,18 @@ int cmd_search(const Args& args) {
     cfg.search.topk = topk;
     cfg.search.candidate_len = list;
     cfg.batch_size = slots;
+    cfg.tracer = trace;
     baselines::GannsEngine e(ds, g, cfg);
     print_report("ganns", e.run_closed_loop(queries));
   } else {
     throw std::invalid_argument("unknown engine: " + engine);
+  }
+  if (trace) {
+    trace->save(trace_path);
+    std::printf("wrote trace %s (%llu events); open in "
+                "https://ui.perfetto.dev or chrome://tracing\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(trace->events_recorded()));
   }
   return 0;
 }
