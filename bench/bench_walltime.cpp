@@ -1,0 +1,173 @@
+// Host wall-clock performance harness (not a paper figure).
+//
+// Every other bench reports *virtual* time from the cost model; this one
+// measures how fast the functional hot path actually executes on the build
+// machine, so perf PRs carry a real before/after trajectory. Four sections:
+//
+//   scalar    per-call distance() loop — control; the per-eval cost of the
+//             unbatched kernel entry.
+//   bulk      brute_force_topk() scans — the batched gather/score path.
+//   search    greedy graph searches — gather-then-score + visited table.
+//   engine    AlgasEngine closed loop on the Fig 10/11 configuration
+//             (batch 16, TopK 16, L 128, 4 CTAs, beam extend) — end-to-end
+//             queries/s and DES events/s.
+//
+// Prints a TSV block (like every bench) and writes a JSON summary to
+// ALGAS_WALLTIME_OUT (default "BENCH_walltime.json") for CI regression
+// checks (scripts/check_walltime.py).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/env.hpp"
+#include "core/engine.hpp"
+#include "dataset/ground_truth.hpp"
+#include "distance/distance.hpp"
+#include "metrics/table.hpp"
+#include "search/greedy.hpp"
+
+using namespace algas;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+struct Section {
+  std::string name;
+  double evals_per_s = 0.0;    // distance evaluations per second (0 = n/a)
+  double queries_per_s = 0.0;  // queries per second (0 = n/a)
+  double wall_s = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("walltime",
+                      "host wall-clock throughput of the functional hot path "
+                      "(not a paper figure; virtual time is unaffected)");
+
+  const std::string ds_name = bench::selected_datasets().front();
+  const Dataset& ds = bench::dataset(ds_name);
+  const Graph& g = bench::graph(ds_name, GraphKind::kCagra);
+  const std::size_t n = ds.num_base();
+
+  std::vector<Section> sections;
+
+  // --- scalar control: one distance() call per point --------------------
+  {
+    const std::size_t nq = std::min<std::size_t>(
+        bench::query_budget(ds, 8), std::max<std::size_t>(1, ds.num_queries()));
+    const auto t0 = std::chrono::steady_clock::now();
+    float sink = 0.0f;
+    for (std::size_t q = 0; q < nq; ++q) {
+      const auto query = ds.query(q);
+      for (std::size_t i = 0; i < n; ++i) {
+        sink += distance(ds.metric(), query, ds.base_vector(i));
+      }
+    }
+    Section s{"scalar"};
+    s.wall_s = seconds_since(t0);
+    s.evals_per_s = static_cast<double>(nq * n) / s.wall_s;
+    sections.push_back(s);
+    if (sink == 42.0f) std::cerr << "";  // keep the loop observable
+  }
+
+  // --- bulk scans: brute-force TopK over the whole base -----------------
+  {
+    const std::size_t nq = std::min<std::size_t>(
+        bench::query_budget(ds, 8), std::max<std::size_t>(1, ds.num_queries()));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t found = 0;
+    for (std::size_t q = 0; q < nq; ++q) {
+      found += brute_force_topk(ds, ds.query(q), 10).size();
+    }
+    Section s{"bulk"};
+    s.wall_s = seconds_since(t0);
+    s.evals_per_s = static_cast<double>(nq * n) / s.wall_s;
+    sections.push_back(s);
+    if (found == 0) throw std::runtime_error("bulk scan found nothing");
+  }
+
+  // --- graph search: sequential greedy sweeps ---------------------------
+  {
+    const std::size_t nq = bench::query_budget(ds, 100);
+    search::SearchConfig cfg;
+    cfg.topk = 16;
+    cfg.candidate_len = 128;
+    sim::CostModel cm;
+    std::size_t scored = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t q = 0; q < nq; ++q) {
+      const auto res = search::greedy_search(ds, g, cm, cfg, ds.query(q));
+      scored += res.stats.scored_points;
+    }
+    Section s{"search"};
+    s.wall_s = seconds_since(t0);
+    s.evals_per_s = static_cast<double>(scored) / s.wall_s;
+    s.queries_per_s = static_cast<double>(nq) / s.wall_s;
+    sections.push_back(s);
+  }
+
+  // --- end-to-end engine: Fig 10/11 configuration -----------------------
+  double sim_events_per_s = 0.0;
+  double engine_recall = 0.0;
+  {
+    const std::size_t nq = bench::query_budget(ds, 200);
+    core::AlgasEngine engine(ds, g, bench::algas_config(16, 128, 16));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rep = engine.run_closed_loop(nq);
+    Section s{"engine"};
+    s.wall_s = seconds_since(t0);
+    s.queries_per_s = static_cast<double>(nq) / s.wall_s;
+    sim_events_per_s = static_cast<double>(rep.sim_events) / s.wall_s;
+    engine_recall = rep.recall;
+    sections.push_back(s);
+  }
+
+  metrics::TsvTable table(
+      {"section", "wall_s", "distance_evals_per_s", "queries_per_s"});
+  for (const auto& s : sections) {
+    table.row()
+        .cell(s.name)
+        .cell(s.wall_s, 3)
+        .cell(s.evals_per_s, 0)
+        .cell(s.queries_per_s, 1);
+  }
+  table.print(std::cout);
+
+  const std::string out_path =
+      env_string("ALGAS_WALLTIME_OUT", "BENCH_walltime.json");
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  out.setf(std::ios::fixed);
+  out.precision(4);  // enough for scale fractions and sub-second walls
+  out << "{\n"
+      << "  \"bench\": \"walltime\",\n"
+      << "  \"dataset\": \"" << ds_name << "\",\n"
+      << "  \"n_base\": " << n << ",\n"
+      << "  \"dim\": " << ds.dim() << ",\n"
+      << "  \"scale\": " << dataset_scale() << ",\n"
+      << "  \"engine_recall\": " << engine_recall << ",\n"
+      << "  \"sim_events_per_s\": " << sim_events_per_s << ",\n";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const auto& s = sections[i];
+    out << "  \"" << s.name << "_wall_s\": " << s.wall_s << ",\n";
+    if (s.evals_per_s > 0.0) {
+      out << "  \"" << s.name
+          << "_distance_evals_per_s\": " << s.evals_per_s << ",\n";
+    }
+    if (s.queries_per_s > 0.0) {
+      out << "  \"" << s.name << "_queries_per_s\": " << s.queries_per_s
+          << ",\n";
+    }
+  }
+  out << "  \"end\": true\n}\n";
+  std::cerr << "[bench] wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Wall-clock regression gate for bench_walltime.
+
+Compares a freshly measured BENCH_walltime.json against the committed
+baseline (bench/walltime_baseline.json by default) and fails when any
+distance-eval throughput drops more than --tolerance (default 30%).
+
+Only *_distance_evals_per_s keys gate: queries/s and events/s depend on
+runner load and scheduler noise too strongly for a hard gate, so they are
+printed for the log but never fail the job.
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("measured", help="freshly produced BENCH_walltime.json")
+    ap.add_argument("baseline", nargs="?",
+                    default="bench/walltime_baseline.json")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional drop vs baseline (default 0.30)")
+    args = ap.parse_args()
+
+    with open(args.measured) as f:
+        measured = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    gate_keys = sorted(k for k in baseline
+                       if k.endswith("_distance_evals_per_s"))
+    if not gate_keys:
+        print("check_walltime: baseline has no *_distance_evals_per_s keys",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in gate_keys:
+        base = float(baseline[key])
+        got = measured.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from measured output")
+            continue
+        got = float(got)
+        floor = base * (1.0 - args.tolerance)
+        verdict = "OK" if got >= floor else "REGRESSION"
+        print(f"{key}: measured {got:,.0f} vs baseline {base:,.0f} "
+              f"(floor {floor:,.0f}) {verdict}")
+        if got < floor:
+            failures.append(
+                f"{key}: {got:,.0f} < floor {floor:,.0f} "
+                f"({(1.0 - got / base) * 100.0:.1f}% below baseline)")
+
+    for key in ("engine_queries_per_s", "sim_events_per_s",
+                "search_queries_per_s"):
+        if key in measured and key in baseline:
+            print(f"{key} (informational): measured "
+                  f"{float(measured[key]):,.1f} vs baseline "
+                  f"{float(baseline[key]):,.1f}")
+
+    if failures:
+        print("\ncheck_walltime: FAILED", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("check_walltime: all throughput gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,19 @@
 #!/bin/sh
 # Regenerate every paper table/figure. Outputs one TSV block per bench.
+# bench_walltime is excluded from the figure loop (it measures host
+# wall-clock, not virtual time) and run once at the end.
 set -e
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$b" in
+    */bench_walltime) continue ;;
+  esac
   echo "===== $b ====="
   "$b"
   echo
 done
+if [ -x build/bench/bench_walltime ]; then
+  echo "===== build/bench/bench_walltime ====="
+  build/bench/bench_walltime
+  echo
+fi

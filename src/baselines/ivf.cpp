@@ -7,15 +7,30 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "distance/kernels.hpp"
 #include "metrics/recall.hpp"
 
 namespace algas::baselines {
 
 namespace {
 
-std::span<const float> centroid_of(const std::vector<float>& centroids,
-                                   std::size_t dim, std::size_t c) {
-  return {centroids.data() + c * dim, dim};
+/// One batched L2 scan of `point` against all centroids; returns argmin,
+/// first index winning ties — the order the scalar scan resolved them.
+std::size_t nearest_centroid(std::span<const float> point,
+                             const std::vector<float>& centroids,
+                             std::size_t dim, std::size_t nlist,
+                             std::span<float> scratch) {
+  distance_batch_range(Metric::kL2, point, centroids.data(), dim, 0, nlist,
+                       scratch);
+  std::size_t arg = 0;
+  float best = kInfDist;
+  for (std::size_t c = 0; c < nlist; ++c) {
+    if (scratch[c] < best) {
+      best = scratch[c];
+      arg = c;
+    }
+  }
+  return arg;
 }
 
 /// Assign every base vector to its closest centroid (L2; cosine datasets
@@ -26,16 +41,10 @@ std::vector<std::size_t> assign_all(const Dataset& ds,
   const std::size_t n = ds.num_base();
   std::vector<std::size_t> assign(n, 0);
   global_pool().parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    std::vector<float> dists(nlist);
     for (std::size_t i = begin; i < end; ++i) {
-      const auto v = ds.base_vector(i);
-      float best = kInfDist;
-      for (std::size_t c = 0; c < nlist; ++c) {
-        const float d = l2_sq(v, centroid_of(centroids, ds.dim(), c));
-        if (d < best) {
-          best = d;
-          assign[i] = c;
-        }
-      }
+      assign[i] = nearest_centroid(ds.base_vector(i), centroids, ds.dim(),
+                                   nlist, dists);
     }
   });
   return assign;
@@ -83,17 +92,10 @@ IvfIndex IvfIndex::build(const Dataset& ds, const IvfBuildConfig& cfg) {
     std::vector<std::size_t> assign(train_ids.size(), 0);
     global_pool().parallel_for(
         train_ids.size(), [&](std::size_t begin, std::size_t end) {
+          std::vector<float> dists(nlist);
           for (std::size_t i = begin; i < end; ++i) {
-            const auto v = ds.base_vector(train_ids[i]);
-            float best = kInfDist;
-            for (std::size_t c = 0; c < nlist; ++c) {
-              const float d =
-                  l2_sq(v, centroid_of(index.centroids_, dim, c));
-              if (d < best) {
-                best = d;
-                assign[i] = c;
-              }
-            }
+            assign[i] = nearest_centroid(ds.base_vector(train_ids[i]),
+                                         index.centroids_, dim, nlist, dists);
           }
         });
     std::vector<double> sums(nlist * dim, 0.0);
@@ -133,11 +135,15 @@ IvfIndex::SearchOut IvfIndex::search(const Dataset& ds,
   const std::size_t nl = nlist();
   nprobe = std::clamp<std::size_t>(nprobe, 1, nl);
 
-  // Coarse: closest nprobe centroids.
+  // Coarse: closest nprobe centroids, scored in one batched L2 scan; the
+  // heap consumes the scores in centroid order, as the scalar loop did.
   using CD = std::pair<float, std::size_t>;
   std::priority_queue<CD> coarse;  // max-heap, keep nprobe smallest
+  std::vector<float> coarse_dists(nl);
+  distance_batch_range(Metric::kL2, query, centroids_.data(), dim_, 0, nl,
+                       coarse_dists);
   for (std::size_t c = 0; c < nl; ++c) {
-    const float d = l2_sq(query, centroid_of(centroids_, dim_, c));
+    const float d = coarse_dists[c];
     if (coarse.size() < nprobe) {
       coarse.emplace(d, c);
     } else if (d < coarse.top().first) {
@@ -148,13 +154,16 @@ IvfIndex::SearchOut IvfIndex::search(const Dataset& ds,
 
   SearchOut out;
   std::priority_queue<KV> best;  // max-heap via operator<; keep k smallest
+  std::vector<float> list_dists;
   while (!coarse.empty()) {
     const std::size_t c = coarse.top().second;
     coarse.pop();
-    for (NodeId id : lists_[c]) {
-      const float d = distance(ds.metric(), query, ds.base_vector(id));
+    const auto& ids = lists_[c];
+    list_dists.resize(ids.size());
+    ds.distance_batch(query, ids, list_dists);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
       ++out.scanned;
-      const KV kv = KV::make(d, id);
+      const KV kv = KV::make(list_dists[i], ids[i]);
       if (best.size() < k) {
         best.push(kv);
       } else if (kv < best.top()) {

@@ -587,7 +587,18 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
   rep.summary = run.collector.summarize();
   rep.plan = plan_;
   rep.sim_events = run.sim.events_processed();
+  rep.sim_stale_events = run.sim.stale_events();
+  if (check) {
+    check->record("simulation", run.sim.now(),
+                  "drained: events=" +
+                      std::to_string(run.sim.events_processed()) +
+                      " stale=" + std::to_string(run.sim.stale_events()));
+  }
   rep.simcheck_checks = check ? check->checks_performed() : 0;
+  if (tracer) {
+    tracer->counter(run.trace.pid, "stale sim events", run.sim.now(),
+                    static_cast<double>(run.sim.stale_events()));
+  }
   rep.trace_events =
       tracer ? tracer->events_recorded() - trace_events_before : 0;
   // The process-wide tracer accumulates across runs: rewrite the file after

@@ -82,6 +82,9 @@ struct EngineReport {
   double host_busy_ns = 0.0;  ///< summed host-thread busy time
   TunePlan plan;
   std::uint64_t sim_events = 0;
+  /// Queue entries the simulation popped and discarded because the actor
+  /// was re-scheduled/cancelled after they were pushed (token mismatch).
+  std::uint64_t sim_stale_events = 0;
   /// Invariant evaluations performed by SimCheck (0 = run was unchecked).
   std::uint64_t simcheck_checks = 0;
   /// SimTrace events this run recorded (0 = run was untraced).

@@ -2,7 +2,34 @@
 
 #include <sstream>
 
+#include "distance/kernels.hpp"
+
 namespace algas {
+
+std::span<const float> Dataset::base_norms() const {
+  const std::size_t n = num_base();
+  if (base_norms_.size() != n) {
+    base_norms_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) base_norms_[i] = norm(base_vector(i));
+  }
+  return base_norms_;
+}
+
+void Dataset::distance_batch(std::span<const float> query,
+                             std::span<const NodeId> ids,
+                             std::span<float> out) const {
+  algas::distance_batch(metric_, query, base_.data(), dim_, ids, out,
+                        metric_ == Metric::kCosine ? base_norms()
+                                                   : std::span<const float>{});
+}
+
+void Dataset::distance_batch_range(std::span<const float> query,
+                                   std::size_t first, std::size_t count,
+                                   std::span<float> out) const {
+  algas::distance_batch_range(
+      metric_, query, base_.data(), dim_, first, count, out,
+      metric_ == Metric::kCosine ? base_norms() : std::span<const float>{});
+}
 
 std::string Dataset::describe() const {
   std::ostringstream out;

@@ -37,7 +37,10 @@ class Dataset {
     return {gt_.data() + q * gt_k_, gt_k_};
   }
 
-  std::vector<float>& mutable_base() { return base_; }
+  std::vector<float>& mutable_base() {
+    base_norms_.clear();  // row norms are stale once the caller writes rows
+    return base_;
+  }
   std::vector<float>& mutable_queries() { return queries_; }
   const std::vector<float>& base() const { return base_; }
   const std::vector<float>& queries() const { return queries_; }
@@ -54,6 +57,23 @@ class Dataset {
     return distance(metric_, query(q), base_vector(i));
   }
 
+  /// Score base rows `ids` against `query` in one batched kernel call —
+  /// bitwise-identical to per-id distance() (see distance/kernels.hpp). The
+  /// cosine path reads the cached base-norm table instead of recomputing
+  /// norm(b) per call.
+  void distance_batch(std::span<const float> query,
+                      std::span<const NodeId> ids, std::span<float> out) const;
+
+  /// Batched scoring of the contiguous rows [first, first + count).
+  void distance_batch_range(std::span<const float> query, std::size_t first,
+                            std::size_t count, std::span<float> out) const;
+
+  /// Per-row L2 norms (norm(base_vector(i)) at index i), computed on first
+  /// use and dropped whenever mutable_base() is taken. NOT thread-safe on
+  /// first call: parallel cosine scans must touch it once up front (the
+  /// in-tree parallel call sites do).
+  std::span<const float> base_norms() const;
+
   /// One-line summary ("SIFT-like  n=100000 d=128 metric=L2 q=1000").
   std::string describe() const;
 
@@ -65,6 +85,8 @@ class Dataset {
   std::vector<float> queries_;
   std::vector<NodeId> gt_;
   std::size_t gt_k_ = 0;
+  /// Lazy norm cache; empty = not built. Only read through base_norms().
+  mutable std::vector<float> base_norms_;
 };
 
 }  // namespace algas

@@ -14,13 +14,22 @@ std::vector<NodeId> brute_force_topk(const Dataset& ds,
   using Entry = std::pair<float, NodeId>;  // max-heap on distance
   std::priority_queue<Entry> heap;
   const std::size_t n = ds.num_base();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float d = distance(ds.metric(), query, ds.base_vector(i));
-    if (heap.size() < k) {
-      heap.emplace(d, static_cast<NodeId>(i));
-    } else if (d < heap.top().first) {
-      heap.pop();
-      heap.emplace(d, static_cast<NodeId>(i));
+  // Batched range scans; the heap consumes scores in id order, exactly as
+  // the scalar loop did.
+  constexpr std::size_t kChunk = 256;
+  std::vector<float> dists(std::min(n, kChunk));
+  for (std::size_t begin = 0; begin < n; begin += kChunk) {
+    const std::size_t len = std::min(kChunk, n - begin);
+    ds.distance_batch_range(query, begin, len, dists);
+    for (std::size_t j = 0; j < len; ++j) {
+      const float d = dists[j];
+      const auto i = static_cast<NodeId>(begin + j);
+      if (heap.size() < k) {
+        heap.emplace(d, i);
+      } else if (d < heap.top().first) {
+        heap.pop();
+        heap.emplace(d, i);
+      }
     }
   }
   std::vector<NodeId> out(heap.size());
@@ -35,6 +44,7 @@ void compute_ground_truth(Dataset& ds, std::size_t k) {
   const std::size_t q = ds.num_queries();
   k = std::min(k, ds.num_base());
   std::vector<NodeId> gt(q * k, kInvalidNode);
+  if (ds.metric() == Metric::kCosine) ds.base_norms();  // warm before forking
   global_pool().parallel_for(q, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       auto topk = brute_force_topk(ds, ds.query(i), k);

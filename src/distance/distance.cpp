@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cmath>
-#include <vector>
 
 namespace algas {
 
@@ -59,10 +58,14 @@ float distance(Metric m, std::span<const float> a, std::span<const float> b) {
 
 namespace {
 
+/// Widest lane count distance_lanes supports — one GPU warp. Keeping the
+/// scratch on the stack avoids three heap allocations per call.
+constexpr std::size_t kMaxLanes = 32;
+
 /// Pairwise tree reduction of lane partials — the order a warp shuffle
 /// reduction (offset 16, 8, 4, 2, 1) produces.
-float shuffle_reduce(std::vector<float>& lanes) {
-  for (std::size_t offset = lanes.size() / 2; offset > 0; offset /= 2) {
+float shuffle_reduce(float* lanes, std::size_t n) {
+  for (std::size_t offset = n / 2; offset > 0; offset /= 2) {
     for (std::size_t i = 0; i < offset; ++i) lanes[i] += lanes[i + offset];
   }
   return lanes[0];
@@ -74,9 +77,10 @@ float distance_lanes(Metric m, std::span<const float> a,
                      std::span<const float> b, std::size_t lanes) {
   assert(a.size() == b.size());
   assert(is_pow2(lanes));
-  std::vector<float> acc(lanes, 0.0f);
-  std::vector<float> acc2(lanes, 0.0f);  // for cosine norms
-  std::vector<float> acc3(lanes, 0.0f);
+  assert(lanes <= kMaxLanes);
+  float acc[kMaxLanes] = {};
+  float acc2[kMaxLanes] = {};  // for cosine norms
+  float acc3[kMaxLanes] = {};
 
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     for (std::size_t i = lane; i < a.size(); i += lanes) {
@@ -100,13 +104,13 @@ float distance_lanes(Metric m, std::span<const float> a,
 
   switch (m) {
     case Metric::kL2:
-      return shuffle_reduce(acc);
+      return shuffle_reduce(acc, lanes);
     case Metric::kInnerProduct:
-      return 1.0f - shuffle_reduce(acc);
+      return 1.0f - shuffle_reduce(acc, lanes);
     case Metric::kCosine: {
-      const float d = shuffle_reduce(acc);
-      const float na = std::sqrt(shuffle_reduce(acc2));
-      const float nb = std::sqrt(shuffle_reduce(acc3));
+      const float d = shuffle_reduce(acc, lanes);
+      const float na = std::sqrt(shuffle_reduce(acc2, lanes));
+      const float nb = std::sqrt(shuffle_reduce(acc3, lanes));
       if (na <= 0.0f || nb <= 0.0f) return 1.0f;
       return 1.0f - d / (na * nb);
     }

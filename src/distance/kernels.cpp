@@ -1,0 +1,151 @@
+#include "distance/kernels.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace algas {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+inline void prefetch_row(const float* row) { __builtin_prefetch(row, 0, 1); }
+#else
+inline void prefetch_row(const float*) {}
+#endif
+
+/// How many rows ahead of the current group to issue prefetches for. Rows
+/// are dim floats (hundreds of bytes), so a small lookahead covers the
+/// memory latency without thrashing L1.
+constexpr std::size_t kPrefetchAhead = 8;
+
+// Each *_quad kernel scores four rows with four independent accumulator
+// chains. Every chain walks dimensions 0..dim-1 in the scalar kernel's
+// order, so each output is bitwise-equal to the one-row kernel; the chains
+// only interleave *between* points, which the scalar kernels never observe.
+
+void l2_quad(std::span<const float> q, const float* r0, const float* r1,
+             const float* r2, const float* r3, float* out) {
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const float qi = q[i];
+    const float d0 = qi - r0[i];
+    const float d1 = qi - r1[i];
+    const float d2 = qi - r2[i];
+    const float d3 = qi - r3[i];
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
+  }
+  out[0] = a0;
+  out[1] = a1;
+  out[2] = a2;
+  out[3] = a3;
+}
+
+void dot_quad(std::span<const float> q, const float* r0, const float* r1,
+              const float* r2, const float* r3, float* out) {
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const float qi = q[i];
+    a0 += qi * r0[i];
+    a1 += qi * r1[i];
+    a2 += qi * r2[i];
+    a3 += qi * r3[i];
+  }
+  out[0] = a0;
+  out[1] = a1;
+  out[2] = a2;
+  out[3] = a3;
+}
+
+/// The scalar cosine kernel recomputes norm(a) and norm(b) inside every
+/// call (cosine_similarity); batching hoists norm(a) — same function, same
+/// bits — and reads norm(b) from the caller's table when present.
+float cosine_from_parts(float na, float nb, float d) {
+  if (na <= 0.0f || nb <= 0.0f) return 1.0f - 0.0f;
+  return 1.0f - d / (na * nb);
+}
+
+/// Generic driver: fetches row pointers through `row_of(k)` and row norms
+/// through `norm_of(k)` (cosine only), walking the batch in groups of four.
+template <typename RowOf, typename NormOf>
+void batch_impl(Metric m, std::span<const float> q, std::size_t count,
+                RowOf row_of, NormOf norm_of, std::span<float> out) {
+  assert(out.size() >= count);
+  const float query_norm = m == Metric::kCosine ? norm(q) : 0.0f;
+  std::size_t k = 0;
+  float dots[4];
+  for (; k + 4 <= count; k += 4) {
+    for (std::size_t p = k + 4; p < k + 4 + kPrefetchAhead && p < count; ++p) {
+      prefetch_row(row_of(p));
+    }
+    const float* r0 = row_of(k);
+    const float* r1 = row_of(k + 1);
+    const float* r2 = row_of(k + 2);
+    const float* r3 = row_of(k + 3);
+    switch (m) {
+      case Metric::kL2:
+        l2_quad(q, r0, r1, r2, r3, &out[k]);
+        break;
+      case Metric::kInnerProduct:
+        dot_quad(q, r0, r1, r2, r3, dots);
+        out[k] = 1.0f - dots[0];
+        out[k + 1] = 1.0f - dots[1];
+        out[k + 2] = 1.0f - dots[2];
+        out[k + 3] = 1.0f - dots[3];
+        break;
+      case Metric::kCosine:
+        dot_quad(q, r0, r1, r2, r3, dots);
+        for (std::size_t j = 0; j < 4; ++j) {
+          out[k + j] = cosine_from_parts(query_norm, norm_of(k + j), dots[j]);
+        }
+        break;
+    }
+  }
+  for (; k < count; ++k) {
+    const float* r = row_of(k);
+    const std::span<const float> row{r, q.size()};
+    switch (m) {
+      case Metric::kL2:
+        out[k] = l2_sq(q, row);
+        break;
+      case Metric::kInnerProduct:
+        out[k] = 1.0f - dot(q, row);
+        break;
+      case Metric::kCosine:
+        out[k] = cosine_from_parts(query_norm, norm_of(k), dot(q, row));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void distance_batch(Metric m, std::span<const float> query, const float* base,
+                    std::size_t dim, std::span<const NodeId> ids,
+                    std::span<float> out, std::span<const float> base_norms) {
+  const auto row_of = [&](std::size_t k) {
+    return base + static_cast<std::size_t>(ids[k]) * dim;
+  };
+  const auto norm_of = [&](std::size_t k) {
+    return base_norms.empty() ? norm({row_of(k), dim})
+                              : base_norms[ids[k]];
+  };
+  batch_impl(m, query.first(dim), ids.size(), row_of, norm_of, out);
+}
+
+void distance_batch_range(Metric m, std::span<const float> query,
+                          const float* base, std::size_t dim,
+                          std::size_t first, std::size_t count,
+                          std::span<float> out,
+                          std::span<const float> base_norms) {
+  const auto row_of = [&](std::size_t k) { return base + (first + k) * dim; };
+  const auto norm_of = [&](std::size_t k) {
+    return base_norms.empty() ? norm({row_of(k), dim})
+                              : base_norms[first + k];
+  };
+  batch_impl(m, query.first(dim), count, row_of, norm_of, out);
+}
+
+}  // namespace algas

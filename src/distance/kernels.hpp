@@ -1,0 +1,46 @@
+// Batched distance kernels — the host-side mirror of one warp's coalesced
+// distance round (§IV-B step 3): score a whole gathered expand list against
+// one query in a single call.
+//
+// Results are BITWISE-IDENTICAL to calling distance() once per point: each
+// point keeps its own accumulator walking dimensions in the scalar order (no
+// reassociation, no fast-math). The speedup comes from everything *around*
+// the float chain — one metric dispatch per batch instead of per point,
+// hoisting the query norm out of the cosine loop, software prefetch of
+// upcoming base rows, and instruction-level parallelism across points (each
+// point's chain is serial, but 4 independent chains keep the FP pipeline
+// full — the CPU analogue of the warp's lanes working 4 neighbors).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+#include "distance/distance.hpp"
+
+namespace algas {
+
+/// Score base rows `ids` (rows of the row-major `base` matrix, `dim` floats
+/// each) against `query`, writing distance(m, query, row) into `out[k]` for
+/// `ids[k]`. `out.size()` must be >= `ids.size()`; duplicate ids are fine.
+///
+/// `base_norms` is an optional per-row L2-norm table (norm(row_i) at index
+/// i) used only by the cosine metric; empty recomputes norms per call,
+/// exactly like the scalar kernel. A table entry must equal norm(row)
+/// bitwise for the batched cosine to stay bitwise-identical — Dataset's
+/// cached table guarantees this by construction.
+void distance_batch(Metric m, std::span<const float> query, const float* base,
+                    std::size_t dim, std::span<const NodeId> ids,
+                    std::span<float> out,
+                    std::span<const float> base_norms = {});
+
+/// Contiguous variant: score rows [first, first + count), writing out[k]
+/// for row first + k. Used by the exhaustive scans (ground truth, IVF
+/// coarse/list scans, medoid) where the id list is a range.
+void distance_batch_range(Metric m, std::span<const float> query,
+                          const float* base, std::size_t dim,
+                          std::size_t first, std::size_t count,
+                          std::span<float> out,
+                          std::span<const float> base_norms = {});
+
+}  // namespace algas

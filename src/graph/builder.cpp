@@ -14,6 +14,12 @@
 
 namespace algas {
 
+namespace {
+/// Rows per distance_batch_range call in full-base scans: large enough to
+/// amortize dispatch, small enough that the output block stays in L1.
+constexpr std::size_t kScanChunk = 256;
+}  // namespace
+
 std::string graph_kind_name(GraphKind k) {
   switch (k) {
     case GraphKind::kNsw: return "NSW";
@@ -61,6 +67,10 @@ std::vector<std::pair<float, NodeId>> build_beam_search(
   std::priority_queue<Entry> best;
   Bitset visited(limit);
   std::size_t scored = 1;
+  std::vector<NodeId> fresh;        // this expansion's unvisited neighbors
+  std::vector<float> fresh_dists;   // their batched distances
+  fresh.reserve(g.degree());
+  fresh_dists.reserve(g.degree());
 
   const float d0 = distance(ds.metric(), query, ds.base_vector(entry));
   frontier.emplace(d0, entry);
@@ -71,10 +81,17 @@ std::vector<std::pair<float, NodeId>> build_beam_search(
     const auto [dist_v, v] = frontier.top();
     frontier.pop();
     if (best.size() >= ef && dist_v > best.top().first) break;
+    fresh.clear();
     for (NodeId n : g.neighbors(v)) {
       if (n == kInvalidNode || n >= limit || visited.test(n)) continue;
       visited.set(n);
-      const float d = distance(ds.metric(), query, ds.base_vector(n));
+      fresh.push_back(n);
+    }
+    fresh_dists.resize(fresh.size());
+    ds.distance_batch(query, fresh, fresh_dists);
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      const NodeId n = fresh[i];
+      const float d = fresh_dists[i];
       ++scored;
       if (best.size() < ef || d < best.top().first) {
         frontier.emplace(d, n);
@@ -106,11 +123,15 @@ NodeId approximate_medoid(const Dataset& ds) {
 
   NodeId best = 0;
   float best_d = kInfDist;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float d = distance(ds.metric(), centroid, ds.base_vector(i));
-    if (d < best_d) {
-      best_d = d;
-      best = static_cast<NodeId>(i);
+  std::vector<float> dists(std::min<std::size_t>(n, kScanChunk));
+  for (std::size_t begin = 0; begin < n; begin += kScanChunk) {
+    const std::size_t len = std::min(kScanChunk, n - begin);
+    ds.distance_batch_range(centroid, begin, len, dists);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (dists[i] < best_d) {
+        best_d = dists[i];
+        best = static_cast<NodeId>(begin + i);
+      }
     }
   }
   return best;

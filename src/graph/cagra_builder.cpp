@@ -28,6 +28,7 @@ Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
 
   const std::size_t k = std::min(2 * cfg.degree, n - 1);
   std::vector<std::vector<std::pair<float, NodeId>>> knn(n);
+  if (ds.metric() == Metric::kCosine) ds.base_norms();  // warm before forking
   global_pool().parallel_for(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
       auto found = build_beam_search(ds, scaffold, ds.base_vector(v),
@@ -51,21 +52,26 @@ Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
   // nearness. This keeps the true near neighbors (count 0) while demoting
   // redundant intra-cluster edges, unlike a binary prune.
   std::vector<std::vector<NodeId>> kept(n), dropped(n);
+  if (ds.metric() == Metric::kCosine) ds.base_norms();  // warm before forking
   global_pool().parallel_for(n, [&](std::size_t begin, std::size_t end) {
     std::vector<std::pair<std::uint32_t, std::size_t>> order;  // (count, rank)
+    std::vector<NodeId> closer_ids;  // ids of list[0..i) — the closer prefix
+    std::vector<float> closer_dists;
     for (std::size_t v = begin; v < end; ++v) {
       const auto& list = knn[v];
       order.clear();
+      closer_ids.clear();
+      closer_dists.resize(list.size());
       for (std::size_t i = 0; i < list.size(); ++i) {
         const auto [d_vu, u] = list[i];
+        // Batch-score u against every closer neighbor of v in one round.
+        ds.distance_batch(ds.base_vector(u), closer_ids, closer_dists);
         std::uint32_t detours = 0;
         for (std::size_t j = 0; j < i; ++j) {
-          const float d_wu = distance(ds.metric(),
-                                      ds.base_vector(list[j].second),
-                                      ds.base_vector(u));
-          if (d_wu < d_vu) ++detours;
+          if (closer_dists[j] < d_vu) ++detours;
         }
         order.emplace_back(detours, i);
+        closer_ids.push_back(u);
       }
       std::sort(order.begin(), order.end());
       auto& keep = kept[v];

@@ -90,13 +90,15 @@ GpuBuildResult gpu_build_nsw(const Dataset& ds, const GpuBuildConfig& cfg) {
 
     if (begin == 0) {
       // Bootstrap batch: no prefix graph exists; points score each other
-      // exhaustively (the GPU does this as a brute-force tile kernel).
+      // exhaustively (the GPU does this as a brute-force tile kernel —
+      // here one batched range scan per inserted point).
+      std::vector<float> tile;
       for (std::size_t v = 1; v < end; ++v) {
         auto& list = found[v];
+        tile.resize(v);
+        ds.distance_batch_range(ds.base_vector(v), 0, v, tile);
         for (std::size_t u = 0; u < v; ++u) {
-          list.emplace_back(distance(ds.metric(), ds.base_vector(v),
-                                     ds.base_vector(u)),
-                            static_cast<NodeId>(u));
+          list.emplace_back(tile[u], static_cast<NodeId>(u));
         }
         std::sort(list.begin(), list.end());
         if (list.size() > cfg.base.ef_construction) {
@@ -117,16 +119,22 @@ GpuBuildResult gpu_build_nsw(const Dataset& ds, const GpuBuildConfig& cfg) {
     }
 
     // Apply the batch's links (order within the batch is the id order, so
-    // results stay deterministic).
+    // results stay deterministic). One batched round scores the selected
+    // row before backlinking.
+    std::vector<NodeId> row_ids;
+    std::vector<float> row_dists;
     for (std::size_t v = begin; v < end; ++v) {
       auto& candidates = found[v - begin];
       if (candidates.empty()) continue;
       select_neighbors(ds, g, static_cast<NodeId>(v), candidates);
+      row_ids.clear();
       for (NodeId u : g.neighbors(static_cast<NodeId>(v))) {
-        if (u == kInvalidNode) continue;
-        const float d =
-            distance(ds.metric(), ds.base_vector(v), ds.base_vector(u));
-        link(ds, g, u, static_cast<NodeId>(v), d);
+        if (u != kInvalidNode) row_ids.push_back(u);
+      }
+      row_dists.resize(row_ids.size());
+      ds.distance_batch(ds.base_vector(v), row_ids, row_dists);
+      for (std::size_t i = 0; i < row_ids.size(); ++i) {
+        link(ds, g, row_ids[i], static_cast<NodeId>(v), row_dists[i]);
       }
     }
 

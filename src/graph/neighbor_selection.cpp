@@ -22,13 +22,17 @@ void select_neighbors(const Dataset& ds, Graph& g, NodeId v,
   std::fill(row.begin(), row.end(), kInvalidNode);
   std::size_t kept = 0;
   std::vector<std::size_t> pruned;
+  std::vector<float> kept_dists(row.size());
   for (std::size_t i = 0; i < candidates.size() && kept < row.size(); ++i) {
     const auto [d_vu, u] = candidates[i];
+    // One batched round scores u against every kept neighbor. This drops
+    // the scalar loop's early exit, but the kept prefix is <= degree and
+    // the ILP/prefetch win dominates the extra tail evaluations.
+    ds.distance_batch(ds.base_vector(u),
+                      std::span<const NodeId>{row.data(), kept}, kept_dists);
     bool diverse = true;
     for (std::size_t j = 0; j < kept; ++j) {
-      const float d_wu =
-          distance(ds.metric(), ds.base_vector(row[j]), ds.base_vector(u));
-      if (d_wu < d_vu) {
+      if (kept_dists[j] < d_vu) {
         diverse = false;
         break;
       }
@@ -58,9 +62,12 @@ void link(const Dataset& ds, Graph& g, NodeId v, NodeId u, float d_vu) {
   std::vector<std::pair<float, NodeId>> candidates;
   candidates.reserve(row.size() + 1);
   candidates.emplace_back(d_vu, u);
-  for (NodeId w : row) {
-    candidates.emplace_back(
-        distance(ds.metric(), ds.base_vector(v), ds.base_vector(w)), w);
+  std::vector<float> row_dists(row.size());
+  ds.distance_batch(ds.base_vector(v),
+                    std::span<const NodeId>{row.data(), row.size()},
+                    row_dists);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    candidates.emplace_back(row_dists[i], row[i]);
   }
   select_neighbors(ds, g, v, candidates);
 }

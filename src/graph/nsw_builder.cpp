@@ -21,16 +21,24 @@ Graph build_nsw(const Dataset& ds, const BuildConfig& cfg) {
   // Insert sequentially. The first node is the provisional entry point;
   // the medoid replaces it at the end.
   const std::size_t m = std::min(cfg.degree, n - 1);
+  std::vector<NodeId> row_ids;
+  std::vector<float> row_dists;
+  row_ids.reserve(cfg.degree);
+  row_dists.reserve(cfg.degree);
   for (NodeId v = 1; v < n; ++v) {
     auto found = build_beam_search(ds, g, ds.base_vector(v),
                                    std::max(cfg.ef_construction, m), 0, v);
-    // Connect v to a diverse selection of its beam, then backlink.
+    // Connect v to a diverse selection of its beam, then backlink. One
+    // batched round scores the whole selected row against v.
     select_neighbors(ds, g, v, found);
+    row_ids.clear();
     for (NodeId u : g.neighbors(v)) {
-      if (u == kInvalidNode) continue;
-      const float d =
-          distance(ds.metric(), ds.base_vector(v), ds.base_vector(u));
-      link(ds, g, u, v, d);
+      if (u != kInvalidNode) row_ids.push_back(u);
+    }
+    row_dists.resize(row_ids.size());
+    ds.distance_batch(ds.base_vector(v), row_ids, row_dists);
+    for (std::size_t i = 0; i < row_ids.size(); ++i) {
+      link(ds, g, row_ids[i], v, row_dists[i]);
     }
   }
 

@@ -1,7 +1,10 @@
 // Fixed-capacity sorted candidate list — the kernel's central shared-memory
 // structure. Capacity L is a power of two; entries stay ascending by
-// distance. Maintenance (merging a sorted expand list, keeping the top L) is
-// one reversed-concatenate + bitonic merge, exactly as the kernel does it.
+// distance. Maintenance (merging a sorted expand list, keeping the top L)
+// models the kernel's reversed-concatenate + 2L bitonic merge: the modeled
+// cost charges that network, while the host executes a bounded linear merge
+// that produces the identical array (see DESIGN.md, "Modeled time vs. host
+// wall-clock").
 #pragma once
 
 #include <cstddef>

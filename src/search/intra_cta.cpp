@@ -4,8 +4,6 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "search/bitonic.hpp"
-
 namespace algas::search {
 
 SearchConfig normalize_config(SearchConfig cfg, std::size_t degree) {
@@ -36,6 +34,9 @@ IntraCtaSearch::IntraCtaSearch(const Dataset& ds, const Graph& g,
     throw std::invalid_argument("dataset too large for packed KV ids");
   }
   expand_.reserve(cfg_.candidate_len);
+  const std::size_t round_cap = cfg_.beam_width * g.degree();
+  gathered_.reserve(round_cap);
+  round_dists_.reserve(round_cap);
 }
 
 void IntraCtaSearch::reset(std::span<const float> query, NodeId entry,
@@ -86,8 +87,12 @@ bool IntraCtaSearch::step(StepCost& cost) {
   const std::size_t got = list_.take_unchecked(take, selected_);
   assert(got >= 1);
 
-  // --- 2+3. gather neighbors, filter via bitmap, score ------------------
-  expand_.clear();
+  // --- 2+3. gather neighbors + filter via bitmap, then one batched
+  // distance round over the surviving ids — the same gather/score split the
+  // kernel's coalesced round performs (§IV-B step 3). Claiming via
+  // test_and_set during the gather keeps the id order (and therefore every
+  // float result) identical to the seed's fused loop.
+  gathered_.clear();
   for (std::size_t s = 0; s < got; ++s) {
     const KV& sel = list_.at(selected_[s]);
     if (trace_) stats_.step_distances.push_back(sel.dist);
@@ -97,18 +102,26 @@ bool IntraCtaSearch::step(StepCost& cost) {
       c.gather_ns += cm_.gather_per_neighbor_ns;
       c.gather_ns += cm_.bitmap_check_ns;
       if (visited_->test_and_set(nb)) continue;  // another CTA owns it
-      const float d = distance(ds_.metric(), query_, ds_.base_vector(nb));
-      expand_.push_back(KV::make(d, nb));
-      ++stats_.scored_points;
+      gathered_.push_back(nb);
     }
   }
+  round_dists_.resize(gathered_.size());
+  ds_.distance_batch(query_, gathered_, round_dists_);
+  expand_.clear();
+  for (std::size_t k = 0; k < gathered_.size(); ++k) {
+    expand_.push_back(KV::make(round_dists_[k], gathered_[k]));
+  }
+  stats_.scored_points += gathered_.size();
   c.compute_ns += cm_.distance_round_ns(ds_.dim(), expand_.size());
 
   // --- 4. one bitonic sort + merge for the whole round -------------------
   if (!expand_.empty()) {
+    // All ids in expand_ are distinct (the visited bitmap filtered the
+    // gather), so std::sort produces the exact array the kernel's bitonic
+    // network would; the modeled cost below still charges the padded
+    // network the kernel runs.
     const std::size_t padded = next_pow2(expand_.size());
-    expand_.resize(padded, KV::empty());
-    bitonic_sort(std::span<KV>(expand_));
+    std::sort(expand_.begin(), expand_.end());
     const std::size_t network = list_.merge_sorted(expand_);
     if (cfg_.full_sort_maintenance) {
       // GANNS-style: full re-sort of the merged buffer every round.

@@ -116,6 +116,8 @@ class IntraCtaSearch {
   CandidateList list_;
   std::vector<KV> expand_;            // sorted scratch, <= L entries
   std::vector<std::size_t> selected_; // indices scratch
+  std::vector<NodeId> gathered_;      // round's unvisited neighbor ids
+  std::vector<float> round_dists_;    // their batched distances
   std::span<const float> query_;
   VisitedTable* visited_ = nullptr;
   bool done_ = true;

@@ -1,42 +1,70 @@
 // Visited table shared by all CTAs searching the same query (§IV-B): a
-// bitmap with test-and-set semantics. The set-count is tracked so engines
-// can charge the modeled atomic cost per check.
+// test-and-set bitmap on the GPU, generation-stamped epochs on the host so
+// the per-query clear() is O(1) wall-clock instead of an O(n/64) memset.
+//
+// A node is "visited" when its stamp equals the current generation;
+// clear() just bumps the generation. This changes HOST time only: the
+// modeled virtual cost of the clear is still charged by the engines via
+// core::visited_clear_words x bitmap_clear_per_word_ns, exactly as the GPU
+// pays for the real bitmap memset (see DESIGN.md "Modeled time vs. host
+// wall-clock"). The set-count is tracked so engines can charge the modeled
+// atomic cost per check.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-
-#include "common/bitset.hpp"
+#include <vector>
 
 namespace algas::search {
 
 class VisitedTable {
  public:
-  VisitedTable() = default;
-  explicit VisitedTable(std::size_t num_nodes) : bits_(num_nodes) {}
+  /// Stamp width bounds the epochs between forced full clears; 16 bits
+  /// keeps the table 2 bytes/node and makes the wraparound path testable.
+  using Generation = std::uint16_t;
 
-  void resize(std::size_t num_nodes) { bits_.resize(num_nodes); }
+  VisitedTable() = default;
+  explicit VisitedTable(std::size_t num_nodes) : stamps_(num_nodes, 0) {}
+
+  void resize(std::size_t num_nodes) {
+    stamps_.assign(num_nodes, 0);
+    generation_ = 1;
+    checks_ = 0;
+  }
 
   /// Mark node visited; returns true if it was already visited.
   /// Mirrors the GPU's atomicOr check in step 2 of the search process.
   bool test_and_set(std::size_t node) {
     ++checks_;
-    return bits_.test_and_set(node);
+    if (stamps_[node] == generation_) return true;
+    stamps_[node] = generation_;
+    return false;
   }
 
-  bool test(std::size_t node) const { return bits_.test(node); }
+  bool test(std::size_t node) const { return stamps_[node] == generation_; }
 
+  /// O(1): start a new epoch. Only on generation wraparound does the whole
+  /// stamp array reset (once every 65535 clears).
   void clear() {
-    bits_.clear();
     checks_ = 0;
+    if (++generation_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), Generation{0});
+      generation_ = 1;
+    }
   }
 
-  std::size_t size() const { return bits_.size(); }
+  std::size_t size() const { return stamps_.size(); }
   std::uint64_t checks() const { return checks_; }
-  std::size_t visited_count() const { return bits_.count(); }
+  Generation generation() const { return generation_; }
+  std::size_t visited_count() const {
+    return static_cast<std::size_t>(
+        std::count(stamps_.begin(), stamps_.end(), generation_));
+  }
 
  private:
-  Bitset bits_;
+  std::vector<Generation> stamps_;
+  Generation generation_ = 1;  // stamp 0 = never visited in any epoch
   std::uint64_t checks_ = 0;
 };
 

@@ -27,6 +27,7 @@ bool Simulation::pop_next(Event& ev) {
     ev = queue_.top();
     queue_.pop();
     if (ev.token == ev.actor->token_) return true;  // live entry
+    ++stale_events_;
   }
   return false;
 }

@@ -64,6 +64,10 @@ class Simulation {
   void stop() { stopped_ = true; }
 
   std::uint64_t events_processed() const { return events_processed_; }
+  /// Queue entries discarded because their actor was re-scheduled or
+  /// cancelled after they were pushed (token mismatch on pop). A high
+  /// stale:processed ratio means actors churn their wake-ups.
+  std::uint64_t stale_events() const { return stale_events_; }
   bool idle() const { return queue_.empty(); }
 
   /// Attach a SimCheck verification layer (not owned; null disables — the
@@ -98,6 +102,7 @@ class Simulation {
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t stale_events_ = 0;
   bool stopped_ = false;
   SimCheck* check_ = nullptr;
   Tracer* trace_ = nullptr;

@@ -1,0 +1,236 @@
+// Property tests for the batched distance kernels (distance/kernels.hpp)
+// and the generation-stamped VisitedTable epochs.
+//
+// The batched kernels promise BITWISE-identical results to per-point
+// distance() calls, so every comparison here is on the float's bit pattern
+// (EXPECT_EQ via bit_cast), never EXPECT_NEAR.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataset/dataset.hpp"
+#include "distance/distance.hpp"
+#include "distance/kernels.hpp"
+#include "search/visited.hpp"
+
+namespace algas {
+namespace {
+
+std::uint32_t bits(float x) { return std::bit_cast<std::uint32_t>(x); }
+
+/// Deterministic base matrix of `n` rows x `dim`; row 0 is all-zero to
+/// exercise the cosine zero-norm guard.
+std::vector<float> make_base(std::size_t n, std::size_t dim,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> base(n * dim, 0.0f);
+  for (std::size_t i = dim; i < base.size(); ++i) {
+    base[i] = rng.next_gaussian();
+  }
+  return base;
+}
+
+std::vector<float> make_query(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> q(dim);
+  for (auto& v : q) v = rng.next_gaussian();
+  return q;
+}
+
+constexpr Metric kMetrics[] = {Metric::kL2, Metric::kInnerProduct,
+                               Metric::kCosine};
+
+// Sweep dims around every tail-handling boundary (odd sizes, powers of two,
+// one off either side) and batch sizes across the 4-wide ILP groups.
+constexpr std::size_t kDims[] = {1,  2,  3,  4,   5,   7,   8,   9,
+                                 15, 16, 17, 31,  32,  33,  63,  64,
+                                 65, 96, 127, 128, 129, 255, 256, 257};
+constexpr std::size_t kBatchSizes[] = {0,  1,  2,  3,  4,   5,   7,  8,
+                                       9,  15, 16, 17, 31,  32,  33, 63,
+                                       64, 65, 127, 128, 129};
+
+TEST(DistanceBatch, BitwiseMatchesScalarAcrossDimsMetricsAndBatches) {
+  constexpr std::size_t kRows = 129;
+  for (std::size_t dim : kDims) {
+    const auto base = make_base(kRows, dim, /*seed=*/dim);
+    const auto query = make_query(dim, /*seed=*/dim * 7919 + 1);
+    for (Metric m : kMetrics) {
+      for (std::size_t count : kBatchSizes) {
+        // Random ids with natural duplicates; always include the zero row
+        // and a forced duplicate pair when the batch is big enough.
+        Rng rng(dim * 131 + count);
+        std::vector<NodeId> ids(count);
+        for (auto& id : ids) {
+          id = static_cast<NodeId>(rng.next_below(kRows));
+        }
+        if (count >= 2) {
+          ids[0] = 0;  // zero row: cosine guard
+          ids[1] = ids[count - 1];  // explicit duplicate
+        }
+        std::vector<float> out(count, -1.0f);
+        distance_batch(m, query, base.data(), dim, ids, out);
+        for (std::size_t k = 0; k < count; ++k) {
+          const std::span<const float> row{base.data() + ids[k] * dim, dim};
+          EXPECT_EQ(bits(out[k]), bits(distance(m, query, row)))
+              << "metric=" << metric_name(m) << " dim=" << dim
+              << " count=" << count << " k=" << k << " id=" << ids[k];
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceBatch, RangeVariantBitwiseMatchesScalar) {
+  constexpr std::size_t kRows = 129;
+  for (std::size_t dim : {1u, 3u, 32u, 129u}) {
+    const auto base = make_base(kRows, dim, /*seed=*/dim + 17);
+    const auto query = make_query(dim, /*seed=*/dim + 18);
+    for (Metric m : kMetrics) {
+      // Ranges covering start, interior, tail, and the whole matrix.
+      const std::size_t starts[] = {0, 1, 5, kRows - 1};
+      const std::size_t counts[] = {0, 1, 4, 7, kRows};
+      for (std::size_t first : starts) {
+        for (std::size_t count : counts) {
+          if (first + count > kRows) continue;
+          std::vector<float> out(count, -1.0f);
+          distance_batch_range(m, query, base.data(), dim, first, count, out);
+          for (std::size_t k = 0; k < count; ++k) {
+            const std::span<const float> row{base.data() + (first + k) * dim,
+                                             dim};
+            EXPECT_EQ(bits(out[k]), bits(distance(m, query, row)))
+                << "metric=" << metric_name(m) << " dim=" << dim
+                << " first=" << first << " count=" << count << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceBatch, EmptySpansAreNoOps) {
+  const auto base = make_base(4, 8, 3);
+  const auto query = make_query(8, 4);
+  distance_batch(Metric::kL2, query, base.data(), 8, {}, {});
+  distance_batch_range(Metric::kCosine, query, base.data(), 8, 2, 0, {});
+  // out larger than ids: only the first ids.size() entries are written.
+  std::vector<float> out(3, -7.0f);
+  std::vector<NodeId> one_id{2};
+  distance_batch(Metric::kL2, query, base.data(), 8, one_id, out);
+  EXPECT_EQ(out[1], -7.0f);
+  EXPECT_EQ(out[2], -7.0f);
+}
+
+TEST(DistanceBatch, NormTableMatchesRecomputedCosine) {
+  constexpr std::size_t kRows = 37;
+  constexpr std::size_t kDim = 33;
+  const auto base = make_base(kRows, kDim, 5);
+  const auto query = make_query(kDim, 6);
+  std::vector<float> norms(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    norms[i] = norm({base.data() + i * kDim, kDim});
+  }
+  std::vector<NodeId> ids(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) ids[i] = static_cast<NodeId>(i);
+  std::vector<float> with_table(kRows), without(kRows);
+  distance_batch(Metric::kCosine, query, base.data(), kDim, ids, with_table,
+                 norms);
+  distance_batch(Metric::kCosine, query, base.data(), kDim, ids, without);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    EXPECT_EQ(bits(with_table[i]), bits(without[i])) << "row " << i;
+  }
+}
+
+TEST(DatasetBatch, MemberBatchBitwiseMatchesQueryDistance) {
+  for (Metric m : kMetrics) {
+    Dataset ds("t", 17, m);
+    ds.mutable_base() = make_base(50, 17, 11);
+    ds.mutable_queries() = make_query(17, 12);
+    std::vector<NodeId> ids{0, 3, 3, 49, 7, 0};
+    std::vector<float> out(ids.size());
+    ds.distance_batch(ds.query(0), ids, out);
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      EXPECT_EQ(bits(out[k]), bits(ds.query_distance(0, ids[k])))
+          << metric_name(m) << " k=" << k;
+    }
+  }
+}
+
+TEST(DatasetBatch, NormCacheInvalidatesOnMutableBase) {
+  Dataset ds("t", 4, Metric::kCosine);
+  ds.mutable_base() = {1.0f, 0.0f, 0.0f, 0.0f, 0.0f, 2.0f, 0.0f, 0.0f};
+  EXPECT_EQ(bits(ds.base_norms()[1]), bits(2.0f));
+  ds.mutable_base()[4] = 3.0f;  // row 1 becomes (3, 2, 0, 0)
+  const auto norms = ds.base_norms();  // must have been recomputed
+  EXPECT_EQ(bits(norms[1]), bits(norm(ds.base_vector(1))));
+  std::vector<NodeId> ids{1};
+  std::vector<float> out(1);
+  ds.distance_batch(ds.base_vector(0), ids, out);
+  EXPECT_EQ(bits(out[0]),
+            bits(distance(Metric::kCosine, ds.base_vector(0),
+                          ds.base_vector(1))));
+}
+
+// ---------------- VisitedTable epochs ----------------
+
+TEST(VisitedEpochs, ClearStartsANewGenerationWithoutTouchingStamps) {
+  search::VisitedTable vt(8);
+  EXPECT_FALSE(vt.test_and_set(3));
+  EXPECT_TRUE(vt.test_and_set(3));
+  EXPECT_TRUE(vt.test(3));
+  EXPECT_EQ(vt.visited_count(), 1u);
+  EXPECT_EQ(vt.checks(), 2u);
+
+  const auto gen_before = vt.generation();
+  vt.clear();
+  EXPECT_EQ(vt.generation(), gen_before + 1);
+  EXPECT_EQ(vt.checks(), 0u);
+  EXPECT_FALSE(vt.test(3));  // old stamp, new epoch
+  EXPECT_EQ(vt.visited_count(), 0u);
+
+  // Second generation behaves like a fresh table.
+  EXPECT_FALSE(vt.test_and_set(3));
+  EXPECT_FALSE(vt.test_and_set(5));
+  EXPECT_TRUE(vt.test_and_set(5));
+  EXPECT_EQ(vt.visited_count(), 2u);
+
+  // Third generation: nodes from both prior epochs read unvisited.
+  vt.clear();
+  EXPECT_FALSE(vt.test(3));
+  EXPECT_FALSE(vt.test(5));
+  EXPECT_FALSE(vt.test_and_set(5));
+}
+
+TEST(VisitedEpochs, WraparoundForcesFullStampReset) {
+  search::VisitedTable vt(4);
+  EXPECT_FALSE(vt.test_and_set(2));  // stamped with generation 1
+
+  // Drive the 16-bit generation all the way around. After 65535 clears the
+  // counter would hit 0; the table must fully reset stamps and restart at
+  // generation 1 without node 2's stale stamp reading as visited.
+  const std::uint32_t kClears = 65535;
+  for (std::uint32_t i = 0; i < kClears; ++i) vt.clear();
+  EXPECT_EQ(vt.generation(), 1u);
+  EXPECT_FALSE(vt.test(2));
+  EXPECT_EQ(vt.visited_count(), 0u);
+  EXPECT_FALSE(vt.test_and_set(2));
+  EXPECT_TRUE(vt.test(2));
+}
+
+TEST(VisitedEpochs, ResizeResetsEverything) {
+  search::VisitedTable vt(4);
+  vt.test_and_set(1);
+  vt.clear();
+  vt.clear();
+  vt.resize(6);
+  EXPECT_EQ(vt.size(), 6u);
+  EXPECT_EQ(vt.generation(), 1u);
+  EXPECT_EQ(vt.checks(), 0u);
+  EXPECT_EQ(vt.visited_count(), 0u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FALSE(vt.test(i));
+}
+
+}  // namespace
+}  // namespace algas

@@ -94,6 +94,19 @@ TEST(Simulation, CancelPreventsStep) {
   EXPECT_TRUE(a.times.empty());
 }
 
+TEST(Simulation, CountsStaleEventsFromSupersededEntries) {
+  Simulation sim;
+  ProbeActor a, b;
+  sim.schedule(&a, 50.0);
+  sim.schedule(&a, 10.0);  // supersedes: the 50.0 entry goes stale
+  sim.schedule(&b, 20.0);
+  sim.cancel(&b);          // the 20.0 entry goes stale
+  EXPECT_EQ(sim.stale_events(), 0u);  // counted on pop, not on push
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 1u);
+  EXPECT_EQ(sim.stale_events(), 2u);
+}
+
 TEST(Simulation, PastSchedulingClampsToNow) {
   class Rescheduler : public Actor {
    public:
