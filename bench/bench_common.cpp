@@ -38,12 +38,19 @@ std::vector<std::string> selected_datasets() {
   return names;
 }
 
+StorageCodec storage_codec() {
+  return parse_storage_codec(env_string("ALGAS_STORAGE", "f32"));
+}
+
 const Dataset& dataset(const std::string& name) {
   static std::map<std::string, Dataset> cache;
   auto it = cache.find(name);
   if (it == cache.end()) {
     std::cerr << "[bench] loading dataset " << name << "...\n";
     it = cache.emplace(name, load_bench_dataset(name)).first;
+    // Quantize after load/ground-truth so recall measures the codec's
+    // loss against f32-exact neighbors.
+    it->second.set_storage(storage_codec());
     std::cerr << "[bench] " << it->second.describe() << "\n";
   }
   return it->second;
@@ -80,6 +87,12 @@ void print_header(const std::string& bench, const std::string& what) {
   metrics::print_meta(std::cout, "reproduces", what);
   metrics::print_meta(std::cout, "scale",
                       std::to_string(dataset_scale()));
+  // Emitted only for quantized runs: the default f32 TSV must stay
+  // byte-identical to the pre-codec output.
+  if (storage_codec() != StorageCodec::kF32) {
+    metrics::print_meta(std::cout, "storage",
+                        storage_codec_name(storage_codec()));
+  }
   metrics::print_meta(std::cout, "note",
                       "latency/throughput are virtual-time (simulated GPU); "
                       "recall is a real measurement");

@@ -6,6 +6,8 @@
 //   ALGAS_QUERIES   queries per configuration (default: bench-specific)
 //   ALGAS_DATASETS  comma list (default "sift,gist,glove,nytimes")
 //   ALGAS_CACHE_DIR dataset/graph cache (default ./algas_cache)
+//   ALGAS_STORAGE   base-row codec f32|f16|int8 (default f32; applied after
+//                   load so cached ground truth stays f32-exact)
 #pragma once
 
 #include <cstddef>
@@ -24,6 +26,9 @@ BuildConfig bench_build_config();
 
 /// Dataset names selected via ALGAS_DATASETS (validated).
 std::vector<std::string> selected_datasets();
+
+/// Base-row storage codec selected via ALGAS_STORAGE (validated).
+StorageCodec storage_codec();
 
 /// Load (cache-backed) the named bench dataset; kept in-process.
 const Dataset& dataset(const std::string& name);

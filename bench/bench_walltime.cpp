@@ -68,7 +68,7 @@ int main() {
     for (std::size_t q = 0; q < nq; ++q) {
       const auto query = ds.query(q);
       for (std::size_t i = 0; i < n; ++i) {
-        sink += distance(ds.metric(), query, ds.base_vector(i));
+        sink += ds.score(query, static_cast<NodeId>(i));
       }
     }
     Section s{"scalar"};
@@ -152,6 +152,7 @@ int main() {
       << "  \"dataset\": \"" << ds_name << "\",\n"
       << "  \"n_base\": " << n << ",\n"
       << "  \"dim\": " << ds.dim() << ",\n"
+      << "  \"storage\": \"" << storage_codec_name(ds.storage()) << "\",\n"
       << "  \"scale\": " << dataset_scale() << ",\n"
       << "  \"engine_recall\": " << engine_recall << ",\n"
       << "  \"sim_events_per_s\": " << sim_events_per_s << ",\n";

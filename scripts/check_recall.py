@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Recall/precision regression gate for quantized base-vector storage.
+
+Compares a freshly measured BENCH_recall.json (from tools/recall_gate)
+against the committed baseline (bench/recall_baseline.json by default):
+
+  f32   must match the baseline recall EXACTLY — the f32 codec path is
+        bitwise-identical to the seed kernels, so any drift means the
+        deterministic scoring chain changed and every pinned number in
+        the repo is suspect.
+  f16   measured recall may drop at most --f16-eps  (default 0.001)
+        below the *measured* f32 recall of the same run.
+  int8  measured recall may drop at most --int8-eps (default 0.01)
+        below the measured f32 recall.
+
+Quantized codecs gate against the same-run f32 recall (not the baseline)
+so the gate isolates codec loss from dataset/config drift — config drift
+is caught separately by the exact-match check on the config keys.
+"""
+import argparse
+import json
+import sys
+
+CONFIG_KEYS = ("dataset", "n_base", "dim", "queries", "topk", "candidate_len")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("measured", help="freshly produced BENCH_recall.json")
+    ap.add_argument("baseline", nargs="?",
+                    default="bench/recall_baseline.json")
+    ap.add_argument("--f16-eps", type=float, default=0.001,
+                    help="max recall@10 drop for f16 vs f32 (default 0.001)")
+    ap.add_argument("--int8-eps", type=float, default=0.01,
+                    help="max recall@10 drop for int8 vs f32 (default 0.01)")
+    args = ap.parse_args()
+
+    with open(args.measured) as f:
+        measured = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    # The gate only means something if both runs measured the same thing.
+    for key in CONFIG_KEYS:
+        if measured.get(key) != baseline.get(key):
+            failures.append(f"config mismatch on '{key}': measured "
+                            f"{measured.get(key)!r} vs baseline "
+                            f"{baseline.get(key)!r}")
+    if failures:
+        print("\ncheck_recall: FAILED", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 2
+
+    try:
+        recalls = {c: float(measured["codecs"][c]["recall_at_10"])
+                   for c in ("f32", "f16", "int8")}
+        base_f32 = float(baseline["codecs"]["f32"]["recall_at_10"])
+    except KeyError as e:
+        print(f"check_recall: missing codec entry {e}", file=sys.stderr)
+        return 2
+
+    # f32: exact. The f32 path never quantizes, so recall is a pure function
+    # of the deterministic simulation — drift means broken determinism.
+    verdict = "OK" if recalls["f32"] == base_f32 else "DRIFT"
+    print(f"f32:  recall@10 {recalls['f32']:.6f} vs baseline {base_f32:.6f} "
+          f"(exact match required) {verdict}")
+    if recalls["f32"] != base_f32:
+        failures.append(
+            f"f32 recall drifted: {recalls['f32']:.10f} != baseline "
+            f"{base_f32:.10f} — the deterministic f32 scoring path changed")
+
+    for codec, eps in (("f16", args.f16_eps), ("int8", args.int8_eps)):
+        drop = recalls["f32"] - recalls[codec]
+        verdict = "OK" if drop <= eps else "REGRESSION"
+        print(f"{codec}: recall@10 {recalls[codec]:.6f} "
+              f"(drop {drop:+.6f} vs f32, eps {eps}) {verdict}")
+        if drop > eps:
+            failures.append(
+                f"{codec} recall dropped {drop:.6f} below f32 "
+                f"(allowed {eps}) — quantization error grew")
+
+    if failures:
+        print("\ncheck_recall: FAILED", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("check_recall: all codec recall gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@
 #include "dataset/io.hpp"               // fvecs/ivecs + dataset cache files
 #include "dataset/registry.hpp"         // named bench datasets
 #include "dataset/synthetic.hpp"        // Table III stand-in generators
+#include "dataset/vector_store.hpp"     // f32/f16/int8 storage codecs
 #include "graph/builder.hpp"            // NSW + CAGRA-style index builders
 #include "metrics/recall.hpp"
 #include "search/greedy.hpp"            // instrumented reference search

@@ -201,6 +201,7 @@ IvfEngine::IvfEngine(const Dataset& ds, IvfConfig cfg, IvfIndex index)
   layout.candidate_entries = next_pow2(cfg_.topk);
   layout.expand_entries = 0;
   layout.dim = ds.dim();
+  layout.elem_bytes = ds.elem_bytes();
   capacity_ = device_capacity(cfg_.device, layout, 1024);
   if (capacity_ == 0) capacity_ = 1;
 }
@@ -216,7 +217,7 @@ core::EngineReport IvfEngine::run_closed_loop(std::size_t num_queries) {
   while (q < num_queries) {
     const std::size_t batch_n = std::min(cfg_.batch_size, num_queries - q);
     double cursor = clock + cm.kernel_launch_ns;
-    cursor += channel.transfer(cursor, batch_n * ds_.dim() * sizeof(float),
+    cursor += channel.transfer(cursor, batch_n * ds_.dim() * ds_.elem_bytes(),
                                sim::Xfer::kBulk);
     const double kernel_start = cursor;
 
@@ -225,10 +226,11 @@ core::EngineReport IvfEngine::run_closed_loop(std::size_t num_queries) {
     outs.reserve(batch_n);
     for (std::size_t b = 0; b < batch_n; ++b) {
       auto out = index_.search(ds_, ds_.query(q + b), cfg_.nprobe, cfg_.topk);
-      // One CTA per query: coarse scan + exhaustive list scan + k-select.
+      // One CTA per query: coarse scan (f32 centroids) + exhaustive list
+      // scan (stored rows, codec width) + k-select.
       const double dur =
           cm.distance_round_ns(ds_.dim(), index_.nlist()) +
-          cm.distance_round_ns(ds_.dim(), out.scanned) +
+          cm.distance_round_ns(ds_.dim(), out.scanned, 32, ds_.elem_bytes()) +
           static_cast<double>(ceil_div(out.scanned, 32)) *
               cm.select_per_wavefront_ns;
       tasks.push_back({b, dur});
@@ -261,6 +263,7 @@ core::EngineReport IvfEngine::run_closed_loop(std::size_t num_queries) {
 
   core::EngineReport rep;
   rep.summary = collector.summarize();
+  rep.storage = ds_.storage();
   const auto total = channel.total();
   rep.pcie_transactions = total.transactions;
   rep.pcie_bytes = total.bytes;

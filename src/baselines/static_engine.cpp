@@ -25,6 +25,7 @@ StaticBatchEngine::StaticBatchEngine(const Dataset& ds, const Graph& g,
       next_pow2(std::max<std::size_t>(1, cfg_.search.beam_width) *
                 g.degree());
   layout.dim = ds.dim();
+  layout.elem_bytes = ds.elem_bytes();
   const std::size_t reserved = core::auto_reserved_bytes(ds.dim());
   capacity_ = device_capacity(cfg_.device, layout, reserved);
   if (capacity_ == 0) {
@@ -95,7 +96,7 @@ core::EngineReport StaticBatchEngine::run(
     }
 
     double cursor = batch_ready + cm.kernel_launch_ns;
-    cursor += channel.transfer(cursor, batch_n * ds_.dim() * sizeof(float),
+    cursor += channel.transfer(cursor, batch_n * ds_.dim() * ds_.elem_bytes(),
                                sim::Xfer::kBulk);
     const double kernel_start = cursor;
 
@@ -192,6 +193,7 @@ core::EngineReport StaticBatchEngine::run(
 
   core::EngineReport rep;
   rep.summary = collector.summarize();
+  rep.storage = ds_.storage();
   rep.trace_events =
       tracer ? tracer->events_recorded() - trace_events_before : 0;
   if (tracer && tracer == sim::default_tracer()) {

@@ -1,0 +1,86 @@
+// Software IEEE 754 binary16 ("half") conversion.
+//
+// The simulated GPU has no hardware half type, so the f16 storage codec
+// does its conversions at the bit level: float_to_half rounds to nearest
+// even (the GPU's __float2half convention), half_to_float is exact (every
+// half is representable as a float). Denormals, signed zero, infinities
+// and NaNs all follow IEEE 754; overflow past the half range (|x| > 65504)
+// rounds to infinity, exactly like the hardware instruction.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace algas {
+
+/// Round-to-nearest-even conversion of a binary32 float to binary16 bits.
+inline std::uint16_t float_to_half(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const auto sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t exp = (x >> 23) & 0xffu;
+  std::uint32_t mant = x & 0x007fffffu;
+
+  if (exp == 0xffu) {  // inf / NaN: keep NaN-ness (force a payload bit)
+    const auto payload =
+        static_cast<std::uint16_t>(mant ? (0x0200u | (mant >> 13)) : 0u);
+    return static_cast<std::uint16_t>(sign | 0x7c00u | payload);
+  }
+
+  const std::int32_t e = static_cast<std::int32_t>(exp) - 127 + 15;
+  if (e >= 0x1f) return static_cast<std::uint16_t>(sign | 0x7c00u);  // -> inf
+  if (e <= 0) {
+    // Result is a half denormal (or rounds to zero). Shift the full
+    // 24-bit significand (implicit bit included) right, rounding RNE.
+    if (e < -10) return sign;  // too small for the largest denormal's half-ulp
+    mant |= 0x00800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - e);  // 14..24
+    std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    // A carry out of the denormal range lands exactly on the smallest
+    // normal (exponent field 1), which the plain add already encodes.
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+
+  // Normal range: drop 13 mantissa bits with RNE.
+  std::uint32_t half_mant = mant >> 13;
+  std::int32_t half_exp = e;
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    if (++half_mant == 0x400u) {  // mantissa overflow: bump the exponent
+      half_mant = 0;
+      if (++half_exp >= 0x1f) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+  }
+  return static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(half_exp) << 10) | half_mant);
+}
+
+/// Exact widening of binary16 bits to a binary32 float.
+inline float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // +-0
+    } else {
+      // Denormal half: normalize into a float with an implicit bit.
+      std::uint32_t shift = 0;
+      while (!(mant & 0x400u)) {
+        mant <<= 1;
+        ++shift;
+      }
+      out = sign | ((113u - shift) << 23) | ((mant & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace algas

@@ -266,9 +266,10 @@ bool HostWorker::dispatch(sim::Simulation& sim, std::size_t slot,
   std::fill(rt.result_buffer.begin(), rt.result_buffer.end(), KV::empty());
 
   *elapsed += cm.host_dispatch_ns;
-  // Query dispatch is a posted write into the slot's device buffer.
+  // Query dispatch is a posted write into the slot's device buffer, at the
+  // storage codec's element width (the device scores quantized rows).
   *elapsed += run_.channel.post(sim.now() + *elapsed,
-                                run_.ds.dim() * sizeof(float),
+                                run_.ds.dim() * run_.ds.elem_bytes(),
                                 sim::Xfer::kQuery);
   rt.dispatch_ns = sim.now() + *elapsed;
   for (std::size_t c = 0; c < run_.plan.n_parallel; ++c) {
@@ -464,6 +465,7 @@ AlgasEngine::AlgasEngine(const Dataset& ds, const Graph& g, AlgasConfig cfg)
   in.layout.expand_entries =
       next_pow2(std::max<std::size_t>(1, cfg_.search.beam_width) * g.degree());
   in.layout.dim = ds.dim();
+  in.layout.elem_bytes = ds.elem_bytes();
   layout_ = in.layout;
   plan_ = tune(in);
   if (!plan_.ok) {
@@ -491,7 +493,13 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
     owned_check = std::make_unique<sim::SimCheck>();
     check = owned_check.get();
   }
-  if (check) check->begin_run(std::string("algas:") + host_sync_name(cfg_.host_sync));
+  // Surface the storage codec in checker/trace process names; the f32
+  // default keeps the historical label so existing traces stay identical.
+  std::string run_label = std::string("algas:") + host_sync_name(cfg_.host_sync);
+  if (ds_.storage() != StorageCodec::kF32) {
+    run_label += std::string(":") + storage_codec_name(ds_.storage());
+  }
+  if (check) check->begin_run(run_label);
 
   RunState run(ds_, g_, cfg_, plan_, check);
   std::unique_ptr<ProtocolChecker> protocol;
@@ -511,8 +519,7 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
     trace_events_before = tracer->events_recorded();
     TraceLanes& tl = run.trace;
     tl.tracer = tracer;
-    tl.pid = tracer->begin_process(std::string("algas:") +
-                                   host_sync_name(cfg_.host_sync));
+    tl.pid = tracer->begin_process(run_label);
     tl.link_tid = tracer->lane(tl.pid, "pcie link");
     const std::size_t n_workers =
         std::min(cfg_.host_threads, std::max<std::size_t>(1, cfg_.slots));
@@ -585,6 +592,7 @@ EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
 
   EngineReport rep;
   rep.summary = run.collector.summarize();
+  rep.storage = ds_.storage();
   rep.plan = plan_;
   rep.sim_events = run.sim.events_processed();
   rep.sim_stale_events = run.sim.stale_events();

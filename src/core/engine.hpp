@@ -69,6 +69,8 @@ std::size_t visited_clear_words(std::size_t num_base, std::size_t n_parallel);
 struct EngineReport {
   metrics::Collector collector;
   metrics::RunSummary summary;
+  /// Base-row storage codec the run scored against (f32/f16/int8).
+  StorageCodec storage = StorageCodec::kF32;
   double recall = 0.0;            ///< mean recall@topk (if GT available)
   double gpu_utilization = 0.0;   ///< busy CTA-time / (CTAs x span)
   std::uint64_t pcie_transactions = 0;

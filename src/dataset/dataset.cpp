@@ -6,29 +6,104 @@
 
 namespace algas {
 
+void Dataset::set_storage(StorageCodec codec) {
+  if (codec == codec_ && !store_dirty_) return;
+  codec_ = codec;
+  base_norms_.clear();  // quantized norms differ from f32 norms
+  store_.encode(base_.data(), num_base(), dim_, codec_);
+  store_dirty_ = false;
+}
+
+const VectorStore& Dataset::vector_store() const {
+  if (store_dirty_ || store_.rows() != num_base()) {
+    store_.encode(base_.data(), num_base(), dim_, codec_);
+    store_dirty_ = false;
+  }
+  return store_;
+}
+
 std::span<const float> Dataset::base_norms() const {
   const std::size_t n = num_base();
   if (base_norms_.size() != n) {
     base_norms_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) base_norms_[i] = norm(base_vector(i));
+    if (codec_ == StorageCodec::kF32) {
+      for (std::size_t i = 0; i < n; ++i) {
+        base_norms_[i] = norm(base_vector(i));
+      }
+    } else {
+      // Norms of the decoded rows: exactly what the quantized kernels
+      // recompute when no table is supplied, so the table keeps the
+      // batched cosine bitwise-identical to table-free scoring.
+      const VectorStore& vs = vector_store();
+      std::vector<float> row(dim_);
+      for (std::size_t i = 0; i < n; ++i) {
+        vs.decode_row(i, row);
+        base_norms_[i] = norm(row);
+      }
+    }
   }
   return base_norms_;
+}
+
+float Dataset::score(std::span<const float> q, NodeId id) const {
+  if (codec_ == StorageCodec::kF32) {
+    return distance(metric_, q, base_vector(id));
+  }
+  const NodeId ids[1] = {id};
+  float out[1];
+  distance_batch(q, ids, out);
+  return out[0];
 }
 
 void Dataset::distance_batch(std::span<const float> query,
                              std::span<const NodeId> ids,
                              std::span<float> out) const {
-  algas::distance_batch(metric_, query, base_.data(), dim_, ids, out,
-                        metric_ == Metric::kCosine ? base_norms()
-                                                   : std::span<const float>{});
+  const auto norms = metric_ == Metric::kCosine ? base_norms()
+                                                : std::span<const float>{};
+  switch (codec_) {
+    case StorageCodec::kF32:
+      algas::distance_batch(metric_, query, base_.data(), dim_, ids, out,
+                            norms);
+      return;
+    case StorageCodec::kF16: {
+      const VectorStore& vs = vector_store();
+      algas::distance_batch_f16(metric_, query, vs.f16_rows(), dim_, ids, out,
+                                norms);
+      return;
+    }
+    case StorageCodec::kInt8: {
+      const VectorStore& vs = vector_store();
+      algas::distance_batch_i8(metric_, query, vs.i8_rows(),
+                               vs.i8_scales().data(), dim_, ids, out, norms);
+      return;
+    }
+  }
 }
 
 void Dataset::distance_batch_range(std::span<const float> query,
                                    std::size_t first, std::size_t count,
                                    std::span<float> out) const {
-  algas::distance_batch_range(
-      metric_, query, base_.data(), dim_, first, count, out,
-      metric_ == Metric::kCosine ? base_norms() : std::span<const float>{});
+  const auto norms = metric_ == Metric::kCosine ? base_norms()
+                                                : std::span<const float>{};
+  switch (codec_) {
+    case StorageCodec::kF32:
+      algas::distance_batch_range(metric_, query, base_.data(), dim_, first,
+                                  count, out, norms);
+      return;
+    case StorageCodec::kF16: {
+      const VectorStore& vs = vector_store();
+      algas::distance_batch_range_f16(metric_, query, vs.f16_rows(), dim_,
+                                      first, count, out, norms);
+      return;
+    }
+    case StorageCodec::kInt8: {
+      const VectorStore& vs = vector_store();
+      algas::distance_batch_range_i8(metric_, query, vs.i8_rows(),
+                                     vs.i8_scales().data(), dim_, first,
+                                     count, out, norms);
+      return;
+    }
+  }
 }
 
 std::string Dataset::describe() const {
@@ -36,6 +111,9 @@ std::string Dataset::describe() const {
   out << name_ << "  n=" << num_base() << " d=" << dim_
       << " metric=" << metric_name(metric_) << " q=" << num_queries();
   if (has_ground_truth()) out << " gt_k=" << gt_k_;
+  if (codec_ != StorageCodec::kF32) {
+    out << " storage=" << storage_codec_name(codec_);
+  }
   return out.str();
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "dataset/vector_store.hpp"
 #include "distance/distance.hpp"
 
 namespace algas {
@@ -39,6 +40,7 @@ class Dataset {
 
   std::vector<float>& mutable_base() {
     base_norms_.clear();  // row norms are stale once the caller writes rows
+    store_dirty_ = true;  // so are the quantized rows and their scales
     return base_;
   }
   std::vector<float>& mutable_queries() { return queries_; }
@@ -52,13 +54,38 @@ class Dataset {
   bool has_ground_truth() const { return gt_k_ > 0 && !gt_.empty(); }
   const std::vector<NodeId>& ground_truth_flat() const { return gt_; }
 
+  /// Select the base-row storage codec. f32 (the default) keeps today's
+  /// flat float rows and the bit-identical scoring path; f16/int8 encode
+  /// the rows into the VectorStore and route every distance call through
+  /// the dequantize-in-register kernels. Changing the codec drops the norm
+  /// cache (quantized norms are norms of the DECODED rows). Note the codec
+  /// is a runtime property — ground truth should be computed/loaded before
+  /// quantizing so recall measures the quantization loss, not a quantized
+  /// ground truth.
+  void set_storage(StorageCodec codec);
+  StorageCodec storage() const { return codec_; }
+  /// Bytes per stored base element under the active codec (4 / 2 / 1) —
+  /// what the cost model and shared-memory layout charge per dimension.
+  std::size_t elem_bytes() const { return storage_elem_bytes(codec_); }
+
+  /// The encoded store for the active codec, re-encoded on demand after
+  /// mutable_base(). Like base_norms(), NOT thread-safe on first use after
+  /// a mutation; parallel scans must touch it once up front. f32 returns
+  /// the empty store (nothing encoded).
+  const VectorStore& vector_store() const;
+
+  /// Distance from `query` to base row `id` under the dataset metric and
+  /// the active storage codec. For f32 this is exactly distance(); for
+  /// quantized codecs it scores the encoded row (a batch of one).
+  float score(std::span<const float> q, NodeId id) const;
+
   /// Distance from query q to base vector i under the dataset metric.
   float query_distance(std::size_t q, NodeId i) const {
-    return distance(metric_, query(q), base_vector(i));
+    return score(query(q), i);
   }
 
   /// Score base rows `ids` against `query` in one batched kernel call —
-  /// bitwise-identical to per-id distance() (see distance/kernels.hpp). The
+  /// bitwise-identical to per-id score() (see distance/kernels.hpp). The
   /// cosine path reads the cached base-norm table instead of recomputing
   /// norm(b) per call.
   void distance_batch(std::span<const float> query,
@@ -68,10 +95,12 @@ class Dataset {
   void distance_batch_range(std::span<const float> query, std::size_t first,
                             std::size_t count, std::span<float> out) const;
 
-  /// Per-row L2 norms (norm(base_vector(i)) at index i), computed on first
-  /// use and dropped whenever mutable_base() is taken. NOT thread-safe on
-  /// first call: parallel cosine scans must touch it once up front (the
-  /// in-tree parallel call sites do).
+  /// Per-row L2 norms of the rows AS SCORED under the active codec
+  /// (norm(base_vector(i)) for f32, norm of the decoded row for f16/int8),
+  /// computed on first use and dropped whenever mutable_base() is taken or
+  /// the codec changes. NOT thread-safe on first call: parallel cosine
+  /// scans must touch it once up front (the in-tree parallel call sites
+  /// do).
   std::span<const float> base_norms() const;
 
   /// One-line summary ("SIFT-like  n=100000 d=128 metric=L2 q=1000").
@@ -85,8 +114,12 @@ class Dataset {
   std::vector<float> queries_;
   std::vector<NodeId> gt_;
   std::size_t gt_k_ = 0;
+  StorageCodec codec_ = StorageCodec::kF32;
   /// Lazy norm cache; empty = not built. Only read through base_norms().
   mutable std::vector<float> base_norms_;
+  /// Encoded rows for the quantized codecs; rebuilt when store_dirty_.
+  mutable VectorStore store_;
+  mutable bool store_dirty_ = false;
 };
 
 }  // namespace algas

@@ -44,7 +44,11 @@ void compute_ground_truth(Dataset& ds, std::size_t k) {
   const std::size_t q = ds.num_queries();
   k = std::min(k, ds.num_base());
   std::vector<NodeId> gt(q * k, kInvalidNode);
-  if (ds.metric() == Metric::kCosine) ds.base_norms();  // warm before forking
+  // Warm the lazily-built caches before forking: the norm table (cosine)
+  // and the encoded store (quantized codecs) are not thread-safe on first
+  // touch.
+  if (ds.storage() != StorageCodec::kF32) ds.vector_store();
+  if (ds.metric() == Metric::kCosine) ds.base_norms();
   global_pool().parallel_for(q, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       auto topk = brute_force_topk(ds, ds.query(i), k);

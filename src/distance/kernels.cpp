@@ -3,28 +3,58 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/half.hpp"
+
 namespace algas {
 
 namespace {
 
 #if defined(__GNUC__) || defined(__clang__)
-inline void prefetch_row(const float* row) { __builtin_prefetch(row, 0, 1); }
+inline void prefetch_row(const void* row) { __builtin_prefetch(row, 0, 1); }
 #else
-inline void prefetch_row(const float*) {}
+inline void prefetch_row(const void*) {}
 #endif
 
 /// How many rows ahead of the current group to issue prefetches for. Rows
-/// are dim floats (hundreds of bytes), so a small lookahead covers the
+/// are dim elements (hundreds of bytes), so a small lookahead covers the
 /// memory latency without thrashing L1.
 constexpr std::size_t kPrefetchAhead = 8;
+
+// Row accessors: one per codec. operator[] yields the float the scalar
+// kernel would see — a plain load for f32, an in-register dequantization
+// for f16/int8. The accumulator chains below are codec-agnostic; only the
+// element producer changes, so each codec's batch result is bitwise-equal
+// to decoding its row and running the f32 chain.
+
+struct F32Row {
+  const float* p;
+  float operator[](std::size_t i) const { return p[i]; }
+  const void* addr() const { return p; }
+};
+
+struct F16Row {
+  const std::uint16_t* p;
+  float operator[](std::size_t i) const { return half_to_float(p[i]); }
+  const void* addr() const { return p; }
+};
+
+struct I8Row {
+  const std::int8_t* p;
+  float scale;  ///< per-row symmetric dequantization scale
+  float operator[](std::size_t i) const {
+    return scale * static_cast<float>(p[i]);
+  }
+  const void* addr() const { return p; }
+};
 
 // Each *_quad kernel scores four rows with four independent accumulator
 // chains. Every chain walks dimensions 0..dim-1 in the scalar kernel's
 // order, so each output is bitwise-equal to the one-row kernel; the chains
 // only interleave *between* points, which the scalar kernels never observe.
 
-void l2_quad(std::span<const float> q, const float* r0, const float* r1,
-             const float* r2, const float* r3, float* out) {
+template <typename Row>
+void l2_quad(std::span<const float> q, Row r0, Row r1, Row r2, Row r3,
+             float* out) {
   float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
   for (std::size_t i = 0; i < q.size(); ++i) {
     const float qi = q[i];
@@ -43,8 +73,9 @@ void l2_quad(std::span<const float> q, const float* r0, const float* r1,
   out[3] = a3;
 }
 
-void dot_quad(std::span<const float> q, const float* r0, const float* r1,
-              const float* r2, const float* r3, float* out) {
+template <typename Row>
+void dot_quad(std::span<const float> q, Row r0, Row r1, Row r2, Row r3,
+              float* out) {
   float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
   for (std::size_t i = 0; i < q.size(); ++i) {
     const float qi = q[i];
@@ -59,6 +90,36 @@ void dot_quad(std::span<const float> q, const float* r0, const float* r1,
   out[3] = a3;
 }
 
+// One-row kernels for the scalar tail: identical operations to l2_sq/dot
+// (distance.cpp) with the row element routed through the codec accessor, so
+// a tail result matches both the quad chains and the scalar f32 kernel on
+// the decoded row.
+
+template <typename Row>
+float l2_one(std::span<const float> q, Row r) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const float d = q[i] - r[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+template <typename Row>
+float dot_one(std::span<const float> q, Row r) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < q.size(); ++i) acc += q[i] * r[i];
+  return acc;
+}
+
+/// norm() of the decoded row — same accumulation as norm(span) = sqrt(dot).
+template <typename Row>
+float norm_one(Row r, std::size_t dim) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < dim; ++i) acc += r[i] * r[i];
+  return std::sqrt(acc);
+}
+
 /// The scalar cosine kernel recomputes norm(a) and norm(b) inside every
 /// call (cosine_similarity); batching hoists norm(a) — same function, same
 /// bits — and reads norm(b) from the caller's table when present.
@@ -67,7 +128,7 @@ float cosine_from_parts(float na, float nb, float d) {
   return 1.0f - d / (na * nb);
 }
 
-/// Generic driver: fetches row pointers through `row_of(k)` and row norms
+/// Generic driver: fetches row accessors through `row_of(k)` and row norms
 /// through `norm_of(k)` (cosine only), walking the batch in groups of four.
 template <typename RowOf, typename NormOf>
 void batch_impl(Metric m, std::span<const float> q, std::size_t count,
@@ -78,12 +139,12 @@ void batch_impl(Metric m, std::span<const float> q, std::size_t count,
   float dots[4];
   for (; k + 4 <= count; k += 4) {
     for (std::size_t p = k + 4; p < k + 4 + kPrefetchAhead && p < count; ++p) {
-      prefetch_row(row_of(p));
+      prefetch_row(row_of(p).addr());
     }
-    const float* r0 = row_of(k);
-    const float* r1 = row_of(k + 1);
-    const float* r2 = row_of(k + 2);
-    const float* r3 = row_of(k + 3);
+    const auto r0 = row_of(k);
+    const auto r1 = row_of(k + 1);
+    const auto r2 = row_of(k + 2);
+    const auto r3 = row_of(k + 3);
     switch (m) {
       case Metric::kL2:
         l2_quad(q, r0, r1, r2, r3, &out[k]);
@@ -104,20 +165,47 @@ void batch_impl(Metric m, std::span<const float> q, std::size_t count,
     }
   }
   for (; k < count; ++k) {
-    const float* r = row_of(k);
-    const std::span<const float> row{r, q.size()};
+    const auto r = row_of(k);
     switch (m) {
       case Metric::kL2:
-        out[k] = l2_sq(q, row);
+        out[k] = l2_one(q, r);
         break;
       case Metric::kInnerProduct:
-        out[k] = 1.0f - dot(q, row);
+        out[k] = 1.0f - dot_one(q, r);
         break;
       case Metric::kCosine:
-        out[k] = cosine_from_parts(query_norm, norm_of(k), dot(q, row));
+        out[k] = cosine_from_parts(query_norm, norm_of(k), dot_one(q, r));
         break;
     }
   }
+}
+
+/// Shared wiring for the id-list entry points: builds the row/norm lambdas
+/// for a codec whose row accessor is `make_row(row_index)`.
+template <typename MakeRow>
+void batch_ids(Metric m, std::span<const float> query, std::size_t dim,
+               std::span<const NodeId> ids, std::span<float> out,
+               std::span<const float> base_norms, MakeRow make_row) {
+  const auto row_of = [&](std::size_t k) {
+    return make_row(static_cast<std::size_t>(ids[k]));
+  };
+  const auto norm_of = [&](std::size_t k) {
+    return base_norms.empty() ? norm_one(row_of(k), dim)
+                              : base_norms[ids[k]];
+  };
+  batch_impl(m, query.first(dim), ids.size(), row_of, norm_of, out);
+}
+
+template <typename MakeRow>
+void batch_range(Metric m, std::span<const float> query, std::size_t dim,
+                 std::size_t first, std::size_t count, std::span<float> out,
+                 std::span<const float> base_norms, MakeRow make_row) {
+  const auto row_of = [&](std::size_t k) { return make_row(first + k); };
+  const auto norm_of = [&](std::size_t k) {
+    return base_norms.empty() ? norm_one(row_of(k), dim)
+                              : base_norms[first + k];
+  };
+  batch_impl(m, query.first(dim), count, row_of, norm_of, out);
 }
 
 }  // namespace
@@ -125,14 +213,8 @@ void batch_impl(Metric m, std::span<const float> q, std::size_t count,
 void distance_batch(Metric m, std::span<const float> query, const float* base,
                     std::size_t dim, std::span<const NodeId> ids,
                     std::span<float> out, std::span<const float> base_norms) {
-  const auto row_of = [&](std::size_t k) {
-    return base + static_cast<std::size_t>(ids[k]) * dim;
-  };
-  const auto norm_of = [&](std::size_t k) {
-    return base_norms.empty() ? norm({row_of(k), dim})
-                              : base_norms[ids[k]];
-  };
-  batch_impl(m, query.first(dim), ids.size(), row_of, norm_of, out);
+  batch_ids(m, query, dim, ids, out, base_norms,
+            [&](std::size_t row) { return F32Row{base + row * dim}; });
 }
 
 void distance_batch_range(Metric m, std::span<const float> query,
@@ -140,12 +222,45 @@ void distance_batch_range(Metric m, std::span<const float> query,
                           std::size_t first, std::size_t count,
                           std::span<float> out,
                           std::span<const float> base_norms) {
-  const auto row_of = [&](std::size_t k) { return base + (first + k) * dim; };
-  const auto norm_of = [&](std::size_t k) {
-    return base_norms.empty() ? norm({row_of(k), dim})
-                              : base_norms[first + k];
-  };
-  batch_impl(m, query.first(dim), count, row_of, norm_of, out);
+  batch_range(m, query, dim, first, count, out, base_norms,
+              [&](std::size_t row) { return F32Row{base + row * dim}; });
+}
+
+void distance_batch_f16(Metric m, std::span<const float> query,
+                        const std::uint16_t* base, std::size_t dim,
+                        std::span<const NodeId> ids, std::span<float> out,
+                        std::span<const float> base_norms) {
+  batch_ids(m, query, dim, ids, out, base_norms,
+            [&](std::size_t row) { return F16Row{base + row * dim}; });
+}
+
+void distance_batch_range_f16(Metric m, std::span<const float> query,
+                              const std::uint16_t* base, std::size_t dim,
+                              std::size_t first, std::size_t count,
+                              std::span<float> out,
+                              std::span<const float> base_norms) {
+  batch_range(m, query, dim, first, count, out, base_norms,
+              [&](std::size_t row) { return F16Row{base + row * dim}; });
+}
+
+void distance_batch_i8(Metric m, std::span<const float> query,
+                       const std::int8_t* base, const float* row_scales,
+                       std::size_t dim, std::span<const NodeId> ids,
+                       std::span<float> out,
+                       std::span<const float> base_norms) {
+  batch_ids(m, query, dim, ids, out, base_norms, [&](std::size_t row) {
+    return I8Row{base + row * dim, row_scales[row]};
+  });
+}
+
+void distance_batch_range_i8(Metric m, std::span<const float> query,
+                             const std::int8_t* base, const float* row_scales,
+                             std::size_t dim, std::size_t first,
+                             std::size_t count, std::span<float> out,
+                             std::span<const float> base_norms) {
+  batch_range(m, query, dim, first, count, out, base_norms, [&](std::size_t row) {
+    return I8Row{base + row * dim, row_scales[row]};
+  });
 }
 
 }  // namespace algas

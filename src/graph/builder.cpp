@@ -44,7 +44,14 @@ Graph load_or_build_graph(GraphKind kind, const Dataset& ds,
     std::ostringstream out;
     out << dir << "/graph_v3_" << graph_kind_name(kind) << "_" << ds.name()
         << "_n" << ds.num_base() << "_d" << cfg.degree << "_ef"
-        << cfg.ef_construction << ".agr";
+        << cfg.ef_construction;
+    // Quantized builds score different floats and link different edges, so
+    // they must not collide with the f32 cache. f32 keeps the historical
+    // key (existing caches stay valid).
+    if (ds.storage() != StorageCodec::kF32) {
+      out << "_s" << storage_codec_name(ds.storage());
+    }
+    out << ".agr";
     path = out.str();
     if (file_exists(path)) return Graph::load(path);
   }
@@ -72,7 +79,7 @@ std::vector<std::pair<float, NodeId>> build_beam_search(
   fresh.reserve(g.degree());
   fresh_dists.reserve(g.degree());
 
-  const float d0 = distance(ds.metric(), query, ds.base_vector(entry));
+  const float d0 = ds.score(query, entry);
   frontier.emplace(d0, entry);
   best.emplace(d0, entry);
   visited.set(entry);

@@ -55,9 +55,10 @@ void IntraCtaSearch::reset(std::span<const float> query, NodeId entry,
   // visited anyway and this CTA ends immediately — matching the kernel,
   // where entry collisions make a CTA redundant.
   if (!visited_->test_and_set(entry)) {
-    const float d = distance(ds_.metric(), query_, ds_.base_vector(entry));
+    const float d = ds_.score(query_, entry);
     list_.seed(KV::make(d, entry));
-    pending_ns_ = cm_.distance_round_ns(ds_.dim(), 1) + cm_.bitmap_check_ns;
+    pending_ns_ = cm_.distance_round_ns(ds_.dim(), 1, 32, ds_.elem_bytes()) +
+                  cm_.bitmap_check_ns;
     ++stats_.scored_points;
   } else {
     done_ = true;
@@ -112,7 +113,8 @@ bool IntraCtaSearch::step(StepCost& cost) {
     expand_.push_back(KV::make(round_dists_[k], gathered_[k]));
   }
   stats_.scored_points += gathered_.size();
-  c.compute_ns += cm_.distance_round_ns(ds_.dim(), expand_.size());
+  c.compute_ns +=
+      cm_.distance_round_ns(ds_.dim(), expand_.size(), 32, ds_.elem_bytes());
 
   // --- 4. one bitonic sort + merge for the whole round -------------------
   if (!expand_.empty()) {
@@ -143,6 +145,7 @@ sim::SharedMemoryLayout IntraCtaSearch::shared_memory_layout() const {
   layout.candidate_entries = cfg_.candidate_len;
   layout.expand_entries = next_pow2(cfg_.beam_width * g_.degree());
   layout.dim = ds_.dim();
+  layout.elem_bytes = ds_.elem_bytes();
   return layout;
 }
 

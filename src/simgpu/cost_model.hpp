@@ -101,10 +101,16 @@ struct CostModel {
 
   /// Distance evaluation of `n_points` candidates of dimension `dim` by one
   /// warp: lanes split the dimension (Algorithm 1 lines 10-13) and shuffle-
-  /// reduce, so cost scales with ceil(dim/warp) per point.
+  /// reduce, so cost scales with ceil(dim/warp) per point. `elem_bytes` is
+  /// the stored element width (4 = f32, 2 = f16, 1 = int8): a warp chunk
+  /// moves warp * 4 bytes of row data, so narrower storage packs more
+  /// dimensions per chunk — the memory-bandwidth win quantized rows buy.
+  /// For f32 this reduces exactly to the historical ceil(dim/warp).
   double distance_round_ns(std::size_t dim, std::size_t n_points,
-                           std::size_t warp = 32) const {
-    const double chunks = static_cast<double>(ceil_div(dim, warp));
+                           std::size_t warp = 32,
+                           std::size_t elem_bytes = sizeof(float)) const {
+    const double chunks = static_cast<double>(
+        ceil_div(dim * elem_bytes, warp * sizeof(float)));
     return static_cast<double>(n_points) * (dist_base_ns + dist_chunk_ns * chunks);
   }
 

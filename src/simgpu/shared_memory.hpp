@@ -21,10 +21,15 @@ struct SharedMemoryLayout {
   std::size_t candidate_entries = 0;  ///< L (power of two)
   std::size_t expand_entries = 0;     ///< E (power of two)
   std::size_t dim = 0;                ///< query vector dimension
+  /// Stored bytes per query element (4 = f32, 2 = f16, 1 = int8): the
+  /// kernel keeps the query in shared memory at the base rows' width so a
+  /// quantized layout shrinks the block's footprint (§IV-C budgets fit
+  /// larger fanouts).
+  std::size_t elem_bytes = sizeof(float);
 
   std::size_t candidate_bytes() const { return candidate_entries * kListEntryBytes; }
   std::size_t expand_bytes() const { return expand_entries * kListEntryBytes; }
-  std::size_t query_bytes() const { return dim * sizeof(float); }
+  std::size_t query_bytes() const { return dim * elem_bytes; }
   /// Slot state word + cursor/bookkeeping scalars kept per block.
   std::size_t control_bytes() const { return 64; }
 

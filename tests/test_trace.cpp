@@ -420,6 +420,71 @@ TEST(EngineTrace, TracingPreservesVirtualTimeAndTsvAllSyncModes) {
   }
 }
 
+// Tracing and SimCheck must stay pure observers under every storage codec:
+// a traced+checked run produces the same virtual time, PCIe accounting,
+// and per-query TSV as a bare run of the same quantized dataset, and the
+// trace itself is deterministic. Quantized runs are labeled with the codec
+// suffix; the f32 label keeps its historical spelling.
+TEST(EngineTrace, TracedCheckedRunsByteIdenticalPerStorageCodec) {
+  const auto& world = algas::testing::tiny_world();
+  for (StorageCodec codec : {StorageCodec::kF32, StorageCodec::kF16,
+                             StorageCodec::kInt8}) {
+    Dataset ds = world.ds;  // copy: the shared fixture must stay f32
+    ds.set_storage(codec);
+    auto cfg = traced_engine_config(core::HostSync::kPollMirrored);
+    core::AlgasEngine plain(ds, world.nsw, cfg);
+    const auto rp = plain.run_closed_loop(40);
+
+    auto run_traced_checked = [&] {
+      TracedRun out;
+      auto tcfg = traced_engine_config(core::HostSync::kPollMirrored);
+      tcfg.tracer = &out.tracer;
+      SimCheck checker;
+      tcfg.checker = &checker;
+      core::AlgasEngine engine(ds, world.nsw, tcfg);
+      out.report = engine.run_closed_loop(40);
+      EXPECT_EQ(checker.run_label(),
+                codec == StorageCodec::kF32
+                    ? std::string("algas:poll-mirrored")
+                    : std::string("algas:poll-mirrored:") +
+                          storage_codec_name(codec));
+      return out;
+    };
+    const auto rt = run_traced_checked();
+    const auto rt2 = run_traced_checked();
+
+    const char* name = storage_codec_name(codec);
+    // (No assertion that the plain run is unchecked: ALGAS_SIMCHECK
+    // builds check every run by default, and checking is free anyway.)
+    EXPECT_GT(rt.report.simcheck_checks, 0u) << name;
+    EXPECT_EQ(rp.sim_events, rt.report.sim_events) << name;
+    EXPECT_EQ(rp.pcie_transactions, rt.report.pcie_transactions) << name;
+    EXPECT_EQ(rp.pcie_bytes, rt.report.pcie_bytes) << name;
+    EXPECT_EQ(rp.summary.span_ns, rt.report.summary.span_ns) << name;
+    EXPECT_EQ(records_tsv(rp.collector), records_tsv(rt.report.collector))
+        << name;
+    // Same codec, same run: the trace JSON is byte-identical.
+    EXPECT_EQ(to_json(rt.tracer), to_json(rt2.tracer)) << name;
+  }
+}
+
+// Narrower rows move fewer PCIe bytes for the same query stream — the
+// storage codec must show up in the modeled transfer sizes.
+TEST(EngineTrace, QuantizedRunsMoveFewerModeledBytes) {
+  const auto& world = algas::testing::tiny_world();
+  std::map<StorageCodec, std::uint64_t> bytes;
+  for (StorageCodec codec : {StorageCodec::kF32, StorageCodec::kF16,
+                             StorageCodec::kInt8}) {
+    Dataset ds = world.ds;
+    ds.set_storage(codec);
+    auto cfg = traced_engine_config(core::HostSync::kPollMirrored);
+    core::AlgasEngine engine(ds, world.nsw, cfg);
+    bytes[codec] = engine.run_closed_loop(40).pcie_bytes;
+  }
+  EXPECT_LT(bytes[StorageCodec::kF16], bytes[StorageCodec::kF32]);
+  EXPECT_LT(bytes[StorageCodec::kInt8], bytes[StorageCodec::kF16]);
+}
+
 // ---------------- traced baselines ----------------
 
 TEST(BaselineTrace, StaticBatchShowsTheFig4Bubble) {

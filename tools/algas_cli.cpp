@@ -5,12 +5,13 @@
 //   algas_cli import --name my --base b.fvecs --query q.fvecs
 //                    [--gt gt.ivecs] [--metric l2|cosine|ip] --out ds.abin
 //   algas_cli build  --dataset ds.abin --kind nsw|cagra --degree 32
-//                    [--ef 64] --out graph.agr
+//                    [--ef 64] [--storage f32|f16|int8] --out graph.agr
 //   algas_cli stats  --dataset ds.abin [--graph graph.agr]
 //   algas_cli search --dataset ds.abin --graph graph.agr [--engine algas|
 //                    cagra|ganns|ivf] [--topk 16] [--list 128] [--slots 16]
 //                    [--nparallel 4] [--beam 4] [--queries N] [--sync
 //                    mirrored|naive|blocking] [--nprobe 8]
+//                    [--storage f32|f16|int8]  (base-row codec; see DESIGN.md)
 //                    [--trace out.json]  (SimTrace timeline; open in Perfetto)
 //
 // Every command prints a short human-readable report to stdout.
@@ -82,6 +83,14 @@ GraphKind parse_kind(const std::string& s) {
   throw std::invalid_argument("unknown graph kind: " + s);
 }
 
+/// Apply --storage to a freshly loaded dataset. Quantization happens after
+/// load so cached ground truth stays f32-exact; recall then measures the
+/// codec's loss (see DESIGN.md "Quantized storage and the recall gate").
+void apply_storage(Dataset& ds, const Args& args) {
+  const std::string codec = args.get_or("storage", "f32");
+  ds.set_storage(parse_storage_codec(codec));
+}
+
 core::HostSync parse_sync(const std::string& s) {
   if (s == "mirrored") return core::HostSync::kPollMirrored;
   if (s == "naive") return core::HostSync::kPollNaive;
@@ -125,7 +134,8 @@ int cmd_import(const Args& args) {
 }
 
 int cmd_build(const Args& args) {
-  const Dataset ds = load_dataset(args.get("dataset"));
+  Dataset ds = load_dataset(args.get("dataset"));
+  apply_storage(ds, args);
   BuildConfig cfg;
   cfg.degree = args.get_size("degree", 32);
   cfg.ef_construction = args.get_size("ef", 64);
@@ -155,16 +165,18 @@ int cmd_stats(const Args& args) {
 }
 
 void print_report(const char* engine_name, const core::EngineReport& rep) {
-  std::printf("%s: %zu queries | recall %.4f | latency mean %.1fus "
-              "p99 %.1fus | throughput %.0f qps | pcie txns %llu\n",
-              engine_name, rep.summary.queries, rep.recall,
+  std::printf("%s: %zu queries | storage %s | recall %.4f | latency mean "
+              "%.1fus p99 %.1fus | throughput %.0f qps | pcie txns %llu\n",
+              engine_name, rep.summary.queries,
+              storage_codec_name(rep.storage), rep.recall,
               rep.summary.mean_service_us, rep.summary.p99_service_us,
               rep.summary.throughput_qps,
               static_cast<unsigned long long>(rep.pcie_transactions));
 }
 
 int cmd_search(const Args& args) {
-  const Dataset ds = load_dataset(args.get("dataset"));
+  Dataset ds = load_dataset(args.get("dataset"));
+  apply_storage(ds, args);
   if (!ds.has_ground_truth()) {
     std::printf("note: dataset has no ground truth; recall prints as 0 "
                 "(run `algas_cli gt` first)\n");

@@ -1,0 +1,132 @@
+// recall_gate — the quantized-storage precision gate.
+//
+// Quantized scoring (f16/int8 rows) is deliberately NOT bitwise-equal to
+// the f32 seed, so the usual byte-identity tests cannot protect it. This
+// binary measures what the codecs actually cost: it runs the Fig 10/11
+// ALGAS configuration (batch 16, L 128, 4 CTAs, beam extend) once per
+// storage codec on the same dataset + ground truth and reports recall@10
+// per codec as JSON. scripts/check_recall.py compares that JSON against
+// the committed bench/recall_baseline.json and fails when f32 drifts at
+// all or a quantized codec drops more than its pinned epsilon.
+//
+// Knobs (all environment, same semantics as the benches):
+//   ALGAS_SCALE        dataset size multiplier (CI gate uses 0.05)
+//   ALGAS_QUERIES      queries per codec run   (CI gate uses 40)
+//   ALGAS_DATASETS     first listed name is the gate dataset (default sift)
+//   ALGAS_CACHE_DIR    dataset/graph cache (graph keys are codec-suffixed)
+//   ALGAS_RECALL_OUT   output JSON path (default "BENCH_recall.json")
+//
+// Ground truth is loaded/computed at f32 BEFORE quantizing, so recall
+// measures the codec's loss against exact neighbors — quantizing first
+// would grade the codec against itself.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/engine.hpp"
+#include "dataset/registry.hpp"
+#include "graph/builder.hpp"
+
+using namespace algas;
+
+namespace {
+
+/// The Fig 10/11 comparison configuration (bench_common::algas_config with
+/// topk 10 so the reported recall is recall@10, the paper's headline).
+core::AlgasConfig gate_config() {
+  core::AlgasConfig cfg;
+  cfg.search.topk = 10;
+  cfg.search.candidate_len = 128;
+  cfg.search.beam_width = 4;
+  cfg.search.offset_beam = 24;
+  cfg.slots = 16;
+  cfg.host_threads = 1;
+  cfg.n_parallel = 4;
+  cfg.host_sync = core::HostSync::kPollMirrored;
+  return cfg;
+}
+
+struct CodecResult {
+  StorageCodec codec = StorageCodec::kF32;
+  double recall = 0.0;
+  double mean_latency_us = 0.0;
+  unsigned long long pcie_bytes = 0;
+  std::size_t smem_per_block = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::string raw = env_string("ALGAS_DATASETS", "sift");
+  const std::string ds_name = raw.substr(0, raw.find(','));
+
+  BuildConfig build_cfg;  // bench_build_config(): shared graph-cache keys
+  build_cfg.degree = 32;
+  build_cfg.ef_construction = 64;
+
+  const StorageCodec codecs[] = {StorageCodec::kF32, StorageCodec::kF16,
+                                 StorageCodec::kInt8};
+  std::vector<CodecResult> results;
+  std::size_t n_base = 0, n_queries = 0, dim = 0;
+  for (const StorageCodec codec : codecs) {
+    // Fresh load per codec: ground truth comes from the f32 cache, then
+    // the codec re-encodes the rows and the graph is built (or loaded from
+    // its codec-suffixed cache entry) against the quantized scores.
+    Dataset ds = load_bench_dataset(ds_name);
+    ds.set_storage(codec);
+    const Graph g = load_or_build_graph(GraphKind::kCagra, ds, build_cfg);
+    core::AlgasEngine engine(ds, g, gate_config());
+    const std::size_t nq =
+        std::min(env_size("ALGAS_QUERIES", ds.num_queries()),
+                 ds.num_queries());
+    const auto rep = engine.run_closed_loop(nq);
+
+    CodecResult r;
+    r.codec = codec;
+    r.recall = rep.recall;
+    r.mean_latency_us = rep.summary.mean_service_us;
+    r.pcie_bytes = rep.pcie_bytes;
+    r.smem_per_block = engine.layout().total_bytes();
+    results.push_back(r);
+    n_base = ds.num_base();
+    n_queries = rep.summary.queries;
+    dim = ds.dim();
+    std::printf("%s: storage %-4s | recall@10 %.6f | latency mean %.1fus | "
+                "smem/block %zuB | pcie %llu B\n",
+                ds_name.c_str(), storage_codec_name(codec), r.recall,
+                r.mean_latency_us, r.smem_per_block, r.pcie_bytes);
+  }
+
+  const std::string out_path =
+      env_string("ALGAS_RECALL_OUT", "BENCH_recall.json");
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  out.setf(std::ios::fixed);
+  out << "{\n"
+      << "  \"bench\": \"recall_gate\",\n"
+      << "  \"dataset\": \"" << ds_name << "\",\n"
+      << "  \"n_base\": " << n_base << ",\n"
+      << "  \"dim\": " << dim << ",\n"
+      << "  \"queries\": " << n_queries << ",\n"
+      << "  \"topk\": 10,\n"
+      << "  \"candidate_len\": 128,\n"
+      << "  \"codecs\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out.precision(10);
+    out << "    \"" << storage_codec_name(r.codec) << "\": {\n"
+        << "      \"recall_at_10\": " << r.recall << ",\n";
+    out.precision(3);
+    out << "      \"mean_latency_us\": " << r.mean_latency_us << ",\n"
+        << "      \"smem_per_block\": " << r.smem_per_block << ",\n"
+        << "      \"pcie_bytes\": " << r.pcie_bytes << "\n"
+        << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"end\": true\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
