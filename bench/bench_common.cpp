@@ -20,8 +20,7 @@ BuildConfig bench_build_config() {
 }
 
 std::vector<std::string> selected_datasets() {
-  const std::string raw =
-      env_string("ALGAS_DATASETS", "sift,gist,glove,nytimes");
+  const std::string raw = RuntimeOptions::from_env().datasets;
   std::vector<std::string> names;
   std::stringstream ss(raw);
   std::string item;
@@ -39,7 +38,7 @@ std::vector<std::string> selected_datasets() {
 }
 
 StorageCodec storage_codec() {
-  return parse_storage_codec(env_string("ALGAS_STORAGE", "f32"));
+  return parse_storage_codec(RuntimeOptions::from_env().storage);
 }
 
 const Dataset& dataset(const std::string& name) {
@@ -64,14 +63,16 @@ const Graph& graph(const std::string& name, GraphKind kind) {
     std::cerr << "[bench] building/loading graph " << key << "...\n";
     it = cache
              .emplace(key, load_or_build_graph(kind, dataset(name),
-                                               bench_build_config()))
+                                               bench_build_config())
+                               .graph)
              .first;
   }
   return it->second;
 }
 
 std::size_t query_budget(const Dataset& ds, std::size_t fallback) {
-  const std::size_t want = env_size("ALGAS_QUERIES", fallback);
+  const std::size_t configured = RuntimeOptions::from_env().queries;
+  const std::size_t want = configured == 0 ? fallback : configured;
   return std::min(want, ds.num_queries());
 }
 

@@ -1,13 +1,10 @@
 // Shared harness support for the per-figure bench binaries.
 //
 // Every bench prints TSV to stdout: "#"-prefixed metadata lines, then a
-// header row, then one row per plotted point. Environment knobs:
-//   ALGAS_SCALE     dataset size multiplier (default 1.0)
-//   ALGAS_QUERIES   queries per configuration (default: bench-specific)
-//   ALGAS_DATASETS  comma list (default "sift,gist,glove,nytimes")
-//   ALGAS_CACHE_DIR dataset/graph cache (default ./algas_cache)
-//   ALGAS_STORAGE   base-row codec f32|f16|int8 (default f32; applied after
-//                   load so cached ground truth stays f32-exact)
+// header row, then one row per plotted point. Environment knobs are read
+// through RuntimeOptions::from_env() (see common/env.hpp for the full list
+// and precedence rule): ALGAS_SCALE, ALGAS_QUERIES, ALGAS_DATASETS,
+// ALGAS_CACHE_DIR, ALGAS_STORAGE, ALGAS_BUILD_THREADS.
 #pragma once
 
 #include <cstddef>

@@ -11,6 +11,10 @@
 //   engine    AlgasEngine closed loop on the Fig 10/11 configuration
 //             (batch 16, TopK 16, L 128, 4 CTAs, beam extend) — end-to-end
 //             queries/s and DES events/s.
+//   construction  deterministic batched NSW build on a capped corpus —
+//             insertions/s at threads=1 (gated) plus the parallel speedup
+//             at the default thread count (informational; CI machines have
+//             unpredictable core counts).
 //
 // Prints a TSV block (like every bench) and writes a JSON summary to
 // ALGAS_WALLTIME_OUT (default "BENCH_walltime.json") for CI regression
@@ -25,6 +29,7 @@
 #include "common/env.hpp"
 #include "core/engine.hpp"
 #include "dataset/ground_truth.hpp"
+#include "dataset/registry.hpp"
 #include "distance/distance.hpp"
 #include "metrics/table.hpp"
 #include "search/greedy.hpp"
@@ -130,6 +135,32 @@ int main() {
     sections.push_back(s);
   }
 
+  // --- graph construction: deterministic batched NSW build --------------
+  // The serial (threads=1) run is the gated number — insertions/s on one
+  // core is machine-comparable. The default-thread run only feeds the
+  // informational speedup (CI core counts vary); byte-identity of the two
+  // graphs is pinned by tests, not here.
+  double construction_ips = 0.0;
+  double construction_speedup = 0.0;
+  double construction_parallel_wall_s = 0.0;
+  {
+    const Dataset build_ds =
+        load_bench_dataset_sized(ds_name, 10000, 10, 32, /*use_cache=*/true);
+    BuildConfig cfg = bench::bench_build_config();
+    cfg.threads = 1;
+    const BuildReport serial = build_graph(GraphKind::kNsw, build_ds, cfg);
+    Section s{"construction"};
+    s.wall_s = serial.wall_build_s;
+    s.evals_per_s = static_cast<double>(serial.scored_points) / s.wall_s;
+    construction_ips = static_cast<double>(build_ds.num_base()) / s.wall_s;
+    sections.push_back(s);
+
+    cfg.threads = 0;  // default: ALGAS_BUILD_THREADS, then hardware
+    const BuildReport parallel = build_graph(GraphKind::kNsw, build_ds, cfg);
+    construction_parallel_wall_s = parallel.wall_build_s;
+    construction_speedup = serial.wall_build_s / parallel.wall_build_s;
+  }
+
   metrics::TsvTable table(
       {"section", "wall_s", "distance_evals_per_s", "queries_per_s"});
   for (const auto& s : sections) {
@@ -155,7 +186,11 @@ int main() {
       << "  \"storage\": \"" << storage_codec_name(ds.storage()) << "\",\n"
       << "  \"scale\": " << dataset_scale() << ",\n"
       << "  \"engine_recall\": " << engine_recall << ",\n"
-      << "  \"sim_events_per_s\": " << sim_events_per_s << ",\n";
+      << "  \"sim_events_per_s\": " << sim_events_per_s << ",\n"
+      << "  \"construction_insertions_per_s\": " << construction_ips << ",\n"
+      << "  \"construction_speedup\": " << construction_speedup << ",\n"
+      << "  \"construction_parallel_wall_s\": " << construction_parallel_wall_s
+      << ",\n";
   for (std::size_t i = 0; i < sections.size(); ++i) {
     const auto& s = sections[i];
     out << "  \"" << s.name << "_wall_s\": " << s.wall_s << ",\n";

@@ -44,7 +44,7 @@ int main() {
   spec.num_queries = 256;
   Dataset ds = make_synthetic(spec);
   compute_ground_truth(ds, 16);
-  const Graph graph = build_graph(GraphKind::kCagra, ds, BuildConfig{});
+  const Graph graph = build_graph(GraphKind::kCagra, ds, BuildConfig{}).graph;
 
   std::printf("online serving on %s\n\n", ds.describe().c_str());
   std::printf("%10s %14s | %9s %9s %9s | %9s %9s %9s\n", "rate", "", "dyn p50",

@@ -24,14 +24,23 @@ int main() {
   compute_ground_truth(ds, 16);  // optional: only needed to report recall
   std::printf("dataset: %s\n", ds.describe().c_str());
 
-  // 2. Index: a CAGRA-style fixed out-degree graph.
+  // 2. Index: a CAGRA-style fixed out-degree graph. build_graph returns a
+  //    BuildReport: the graph plus what construction cost (host wall time,
+  //    the cost model's batched-vs-serial virtual times, distance evals).
   BuildConfig build;
   build.degree = 32;
   build.ef_construction = 64;
-  const Graph graph = build_graph(GraphKind::kCagra, ds, build);
+  build.threads = 0;  // 0 = ALGAS_BUILD_THREADS, then hardware concurrency
+  const BuildReport built = build_graph(GraphKind::kCagra, ds, build);
+  const Graph& graph = built.graph;
   const auto stats = graph.stats();
   std::printf("graph: avg degree %.1f, %.1f%% reachable\n", stats.avg_degree,
               100.0 * stats.reachable_fraction);
+  std::printf(
+      "build: %.2fs wall | %.1fms virtual (batched) | modeled speedup %.0fx "
+      "| %zu distance evals\n",
+      built.wall_build_s, built.virtual_build_ns / 1e6, built.speedup(),
+      built.scored_points);
 
   // 3. Engine: 16 dynamic-batching slots, beam extend on, adaptive tuning.
   core::AlgasConfig cfg;

@@ -39,7 +39,7 @@ int main() {
 
   BuildConfig build;
   build.degree = 32;
-  const Graph graph = build_graph(GraphKind::kNsw, ds, build);
+  const Graph graph = build_graph(GraphKind::kNsw, ds, build).graph;
 
   core::AlgasConfig cfg;
   cfg.search.topk = 5;

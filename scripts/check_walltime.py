@@ -3,11 +3,14 @@
 
 Compares a freshly measured BENCH_walltime.json against the committed
 baseline (bench/walltime_baseline.json by default) and fails when any
-distance-eval throughput drops more than --tolerance (default 30%).
+distance-eval or construction throughput drops more than --tolerance
+(default 30%).
 
-Only *_distance_evals_per_s keys gate: queries/s and events/s depend on
-runner load and scheduler noise too strongly for a hard gate, so they are
-printed for the log but never fail the job.
+Only *_distance_evals_per_s and *_insertions_per_s keys gate (both are
+measured on one core, so they are machine-comparable): queries/s, events/s,
+and the parallel construction speedup depend on runner load and core count
+too strongly for a hard gate, so they are printed for the log but never
+fail the job.
 """
 import argparse
 import json
@@ -29,10 +32,11 @@ def main() -> int:
         baseline = json.load(f)
 
     gate_keys = sorted(k for k in baseline
-                       if k.endswith("_distance_evals_per_s"))
+                       if k.endswith("_distance_evals_per_s")
+                       or k.endswith("_insertions_per_s"))
     if not gate_keys:
-        print("check_walltime: baseline has no *_distance_evals_per_s keys",
-              file=sys.stderr)
+        print("check_walltime: baseline has no *_distance_evals_per_s or "
+              "*_insertions_per_s keys", file=sys.stderr)
         return 2
 
     failures = []
@@ -53,7 +57,8 @@ def main() -> int:
                 f"({(1.0 - got / base) * 100.0:.1f}% below baseline)")
 
     for key in ("engine_queries_per_s", "sim_events_per_s",
-                "search_queries_per_s"):
+                "search_queries_per_s", "construction_speedup",
+                "construction_parallel_wall_s"):
         if key in measured and key in baseline:
             print(f"{key} (informational): measured "
                   f"{float(measured[key]):,.1f} vs baseline "

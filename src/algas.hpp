@@ -13,6 +13,7 @@
 #include "baselines/static_engine.hpp"  // CAGRA-style baseline
 #include "core/engine.hpp"              // AlgasEngine
 #include "core/tuner.hpp"               // adaptive tuning (SIV-C)
+#include "common/env.hpp"               // RuntimeOptions / ALGAS_* knobs
 #include "dataset/dataset.hpp"
 #include "dataset/ground_truth.hpp"
 #include "dataset/io.hpp"               // fvecs/ivecs + dataset cache files

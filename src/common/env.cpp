@@ -29,12 +29,30 @@ std::string env_string(const char* name, const std::string& fallback) {
   return std::string(raw);
 }
 
-double dataset_scale() {
-  return std::clamp(env_double("ALGAS_SCALE", 1.0), 0.01, 100.0);
+RuntimeOptions RuntimeOptions::from_env() {
+  RuntimeOptions opts;
+  opts.scale = std::clamp(env_double("ALGAS_SCALE", 1.0), 0.01, 100.0);
+  opts.queries = env_size("ALGAS_QUERIES", 0);
+  opts.datasets = env_string("ALGAS_DATASETS", "sift,gist,glove,nytimes");
+  opts.cache_dir = env_string("ALGAS_CACHE_DIR", "./algas_cache");
+  opts.storage = env_string("ALGAS_STORAGE", "f32");
+  opts.trace_path = env_string("ALGAS_TRACE", "");
+  const std::string check = env_string("ALGAS_SIMCHECK", "");
+  if (check == "1" || check == "on" || check == "ON") {
+    opts.simcheck = 1;
+  } else if (check == "0" || check == "off" || check == "OFF") {
+    opts.simcheck = 0;
+  }
+  opts.build_threads = env_size("ALGAS_BUILD_THREADS", 0);
+  return opts;
 }
 
-std::string cache_dir() {
-  return env_string("ALGAS_CACHE_DIR", "./algas_cache");
+double dataset_scale() { return RuntimeOptions::from_env().scale; }
+
+std::string cache_dir() { return RuntimeOptions::from_env().cache_dir; }
+
+std::size_t build_threads() {
+  return RuntimeOptions::from_env().build_threads;
 }
 
 }  // namespace algas

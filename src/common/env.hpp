@@ -1,10 +1,31 @@
-// Environment-variable knobs shared by benches, examples and tests.
+// Runtime configuration shared by the library, benches, examples and tools.
 //
-//   ALGAS_SCALE      — multiplies every default dataset size (default 1.0).
-//                      Benches use this to trade fidelity for wall time.
-//   ALGAS_CACHE_DIR  — directory for serialized datasets / graphs / ground
-//                      truth (default "./algas_cache"). Empty disables caching.
-//   ALGAS_QUERIES    — overrides the default query count per bench config.
+// Every process-wide knob is an ALGAS_* environment variable, collected in
+// one place by RuntimeOptions::from_env(). The precedence rule, everywhere,
+// is:
+//
+//   CLI flag  >  environment variable  >  compiled default
+//
+// i.e. a front-end (algas_cli, a bench) that exposes a flag must default
+// that flag to the RuntimeOptions value, never read the environment behind
+// it a second time.
+//
+//   ALGAS_SCALE         — multiplies every default dataset size (default
+//                         1.0, clamped to [0.01, 100]).
+//   ALGAS_QUERIES       — overrides the default query count per bench
+//                         config (0 / unset keeps the bench default).
+//   ALGAS_DATASETS      — comma list of bench dataset names.
+//   ALGAS_CACHE_DIR     — directory for serialized datasets / graphs /
+//                         ground truth (default "./algas_cache"). Empty
+//                         disables caching.
+//   ALGAS_STORAGE       — base-row storage codec: f32 | f16 | int8
+//                         (default f32; validated at the use site).
+//   ALGAS_TRACE         — SimTrace output path ("" = tracing off).
+//   ALGAS_SIMCHECK      — 1/on or 0/off; unset follows the compiled
+//                         ALGAS_SIMCHECK CMake default.
+//   ALGAS_BUILD_THREADS — worker threads for offline construction work
+//                         (graph builds, ground truth, k-means). 0 / unset
+//                         picks std::thread::hardware_concurrency().
 #pragma once
 
 #include <cstddef>
@@ -21,11 +42,30 @@ std::size_t env_size(const char* name, std::size_t fallback);
 /// Fetch a string env var, or `fallback` when unset.
 std::string env_string(const char* name, const std::string& fallback);
 
-/// Global dataset scale factor (ALGAS_SCALE, default 1.0, clamped to
-/// [0.01, 100]).
+/// Every ALGAS_* runtime knob, read once per from_env() call (no hidden
+/// caching: tests mutate the environment and re-read).
+struct RuntimeOptions {
+  double scale = 1.0;                ///< ALGAS_SCALE, clamped [0.01, 100]
+  std::size_t queries = 0;           ///< ALGAS_QUERIES, 0 = bench default
+  std::string datasets;              ///< ALGAS_DATASETS comma list
+  std::string cache_dir;             ///< ALGAS_CACHE_DIR, "" disables
+  std::string storage;               ///< ALGAS_STORAGE codec name
+  std::string trace_path;            ///< ALGAS_TRACE, "" = off
+  int simcheck = -1;                 ///< ALGAS_SIMCHECK: 1 on, 0 off,
+                                     ///<   -1 = follow the compiled default
+  std::size_t build_threads = 0;     ///< ALGAS_BUILD_THREADS, 0 = hardware
+
+  static RuntimeOptions from_env();
+};
+
+/// Global dataset scale factor (RuntimeOptions::scale).
 double dataset_scale();
 
-/// Cache directory (ALGAS_CACHE_DIR). Empty string disables caching.
+/// Cache directory (RuntimeOptions::cache_dir). Empty disables caching.
 std::string cache_dir();
+
+/// Offline construction worker count (RuntimeOptions::build_threads,
+/// 0 = hardware concurrency).
+std::size_t build_threads();
 
 }  // namespace algas

@@ -1,8 +1,19 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/env.hpp"
 
 namespace algas {
+
+namespace {
+/// Set while the current thread executes a parallel_for chunk (any pool) —
+/// the nesting guard. thread_local so worker threads and the calling
+/// thread are covered uniformly.
+thread_local bool tl_in_parallel_for = false;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -32,14 +43,47 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::record_error(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pending_error_) pending_error_ = std::move(e);
+}
+
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(pending_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  if (tl_in_parallel_for) {
+    throw std::logic_error(
+        "ThreadPool::parallel_for: nested parallel_for is not supported "
+        "(the inner loop would deadlock a fully busy pool)");
+  }
+  // Per-call error state: concurrent parallel_for calls on a shared pool
+  // must each rethrow only their own chunks' failures.
+  struct ForState {
+    std::mutex mu;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+  const auto run = [&fn, state](std::size_t begin, std::size_t end) {
+    tl_in_parallel_for = true;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+    }
+    tl_in_parallel_for = false;
+  };
+
   const std::size_t parts = std::min(n, workers_.size() * 4 + 1);
   const std::size_t chunk = (n + parts - 1) / parts;
   // The last chunk runs on the calling thread so a 1-thread pool still makes
@@ -47,10 +91,11 @@ void ThreadPool::parallel_for(
   std::size_t begin = 0;
   for (; begin + chunk < n; begin += chunk) {
     const std::size_t end = begin + chunk;
-    submit([&fn, begin, end] { fn(begin, end); });
+    submit([run, begin, end] { run(begin, end); });
   }
-  fn(begin, n);
+  run(begin, n);
   wait_idle();
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 void ThreadPool::worker_loop() {
@@ -66,7 +111,13 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // parallel_for chunks carry their own try/catch; this guard covers
+    // plain submit() tasks so a throw never terminates the worker.
+    try {
+      task();
+    } catch (...) {
+      record_error(std::current_exception());
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
@@ -75,8 +126,33 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(build_threads());
   return pool;
+}
+
+BuildExecutor::BuildExecutor(std::size_t threads) {
+  if (threads == 0) threads = build_threads();
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_ = threads;
+  if (threads == 1) return;  // inline serial: pool_ stays null
+  if (threads == global_pool().size()) {
+    pool_ = &global_pool();
+  } else {
+    owned_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_.get();
+  }
+}
+
+void BuildExecutor::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool_ == nullptr) {
+    fn(0, n);
+    return;
+  }
+  pool_->parallel_for(n, fn);
 }
 
 }  // namespace algas

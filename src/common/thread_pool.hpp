@@ -2,11 +2,20 @@
 // work that is outside the simulated system: graph construction, k-means,
 // and brute-force ground truth. The simulated GPU itself is a single-threaded
 // discrete-event simulation (see simgpu/simulation.hpp) for determinism.
+//
+// Error handling: the first exception thrown inside a submitted task or a
+// parallel_for chunk is captured and rethrown to the caller (from
+// wait_idle() / parallel_for() respectively) instead of terminating the
+// worker thread. Nested parallel_for — calling parallel_for from inside a
+// chunk already running under any pool's parallel_for — is rejected with
+// std::logic_error: the inner call would deadlock a fully busy pool and its
+// chunking would depend on scheduling.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -25,19 +34,25 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns immediately.
+  /// Enqueue a task; returns immediately. A task that throws has its
+  /// exception captured (first one wins) and rethrown from the next
+  /// wait_idle().
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have completed.
+  /// Block until all submitted tasks have completed, then rethrow the
+  /// first exception any of them raised (if any).
   void wait_idle();
 
   /// Split [0, n) into chunks and run `fn(begin, end)` across the pool,
-  /// including the calling thread. Blocks until complete.
+  /// including the calling thread. Blocks until complete; rethrows the
+  /// first exception thrown by any chunk. Throws std::logic_error when
+  /// called from inside a parallel_for chunk (nesting is not supported).
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();
+  void record_error(std::exception_ptr e);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -46,9 +61,42 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  /// First exception raised by a plain submit() task; armed until the next
+  /// wait_idle() rethrows it. parallel_for chunks use per-call state
+  /// instead so concurrent loops cannot steal each other's errors.
+  std::exception_ptr pending_error_;
 };
 
-/// Process-wide pool for offline work (lazily constructed).
+/// Process-wide pool for offline work (lazily constructed; sized by
+/// ALGAS_BUILD_THREADS — see common/env.hpp — falling back to hardware
+/// concurrency).
 ThreadPool& global_pool();
+
+/// Routes a `threads` knob (BuildConfig::threads, CLI --threads) to an
+/// executor for one build:
+///
+///   knob 0  → ALGAS_BUILD_THREADS, which itself defaults to hardware
+///   resolved 1  → run chunks inline on the caller, no pool involved
+///   resolved == global pool size → share the global pool
+///   otherwise → a private pool owned by this executor
+///
+/// parallel_for must produce results independent of the thread count; the
+/// graph builders rely on that (see DESIGN.md "Deterministic parallel
+/// construction").
+class BuildExecutor {
+ public:
+  explicit BuildExecutor(std::size_t threads = 0);
+
+  /// Worker threads backing this executor (1 = inline serial).
+  std::size_t threads() const { return threads_; }
+
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  std::size_t threads_ = 1;
+  ThreadPool* pool_ = nullptr;  ///< null = inline serial execution
+  std::unique_ptr<ThreadPool> owned_;
+};
 
 }  // namespace algas

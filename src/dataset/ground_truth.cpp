@@ -40,7 +40,7 @@ std::vector<NodeId> brute_force_topk(const Dataset& ds,
   return out;
 }
 
-void compute_ground_truth(Dataset& ds, std::size_t k) {
+void compute_ground_truth(Dataset& ds, std::size_t k, std::size_t threads) {
   const std::size_t q = ds.num_queries();
   k = std::min(k, ds.num_base());
   std::vector<NodeId> gt(q * k, kInvalidNode);
@@ -49,7 +49,8 @@ void compute_ground_truth(Dataset& ds, std::size_t k) {
   // touch.
   if (ds.storage() != StorageCodec::kF32) ds.vector_store();
   if (ds.metric() == Metric::kCosine) ds.base_norms();
-  global_pool().parallel_for(q, [&](std::size_t begin, std::size_t end) {
+  BuildExecutor exec(threads);
+  exec.parallel_for(q, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       auto topk = brute_force_topk(ds, ds.query(i), k);
       std::copy(topk.begin(), topk.end(), gt.begin() + i * k);

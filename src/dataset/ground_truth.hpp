@@ -15,6 +15,9 @@ std::vector<NodeId> brute_force_topk(const Dataset& ds,
                                      std::size_t k);
 
 /// Compute and attach exact ground truth for all queries of `ds`.
-void compute_ground_truth(Dataset& ds, std::size_t k);
+/// `threads` follows the build-thread convention: 0 = ALGAS_BUILD_THREADS
+/// (then hardware), 1 = serial. The result is exact either way.
+void compute_ground_truth(Dataset& ds, std::size_t k,
+                          std::size_t threads = 0);
 
 }  // namespace algas

@@ -1,13 +1,16 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <mutex>
 #include <queue>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/bitset.hpp"
 #include "common/env.hpp"
+#include "common/thread_pool.hpp"
 #include "dataset/io.hpp"
 #include "graph/cagra_builder.hpp"
 #include "graph/nsw_builder.hpp"
@@ -18,6 +21,11 @@ namespace {
 /// Rows per distance_batch_range call in full-base scans: large enough to
 /// amortize dispatch, small enough that the output block stays in L1.
 constexpr std::size_t kScanChunk = 256;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
 }  // namespace
 
 std::string graph_kind_name(GraphKind k) {
@@ -28,16 +36,21 @@ std::string graph_kind_name(GraphKind k) {
   return "unknown";
 }
 
-Graph build_graph(GraphKind kind, const Dataset& ds, const BuildConfig& cfg) {
+BuildReport build_graph(GraphKind kind, const Dataset& ds,
+                        const BuildConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  BuildReport report;
   switch (kind) {
-    case GraphKind::kNsw: return build_nsw(ds, cfg);
-    case GraphKind::kCagra: return build_cagra(ds, cfg);
+    case GraphKind::kNsw: report = build_nsw(ds, cfg); break;
+    case GraphKind::kCagra: report = build_cagra(ds, cfg); break;
+    default: throw std::invalid_argument("unknown graph kind");
   }
-  throw std::invalid_argument("unknown graph kind");
+  report.wall_build_s = seconds_since(t0);
+  return report;
 }
 
-Graph load_or_build_graph(GraphKind kind, const Dataset& ds,
-                          const BuildConfig& cfg) {
+BuildReport load_or_build_graph(GraphKind kind, const Dataset& ds,
+                                const BuildConfig& cfg) {
   const std::string dir = cache_dir();
   std::string path;
   if (!dir.empty()) {
@@ -51,17 +64,30 @@ Graph load_or_build_graph(GraphKind kind, const Dataset& ds,
     if (ds.storage() != StorageCodec::kF32) {
       out << "_s" << storage_codec_name(ds.storage());
     }
+    // The batch structure shapes the graph (each batch searches the frozen
+    // prefix), so non-default batches get their own entries. The thread
+    // count never appears: builds are byte-identical across thread counts.
+    if (cfg.insert_batch != BuildConfig{}.insert_batch) {
+      out << "_b" << cfg.insert_batch;
+    }
     out << ".agr";
     path = out.str();
-    if (file_exists(path)) return Graph::load(path);
+    if (file_exists(path)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      BuildReport report;
+      report.graph = Graph::load(path);
+      report.cache_hit = true;
+      report.wall_build_s = seconds_since(t0);
+      return report;
+    }
   }
-  Graph g = build_graph(kind, ds, cfg);
+  BuildReport report = build_graph(kind, ds, cfg);
   if (!path.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    if (!ec) g.save(path);
+    if (!ec) report.graph.save(path);
   }
-  return g;
+  return report;
 }
 
 std::vector<std::pair<float, NodeId>> build_beam_search(
@@ -118,9 +144,16 @@ std::vector<std::pair<float, NodeId>> build_beam_search(
 }
 
 NodeId approximate_medoid(const Dataset& ds) {
+  BuildExecutor serial(1);
+  return approximate_medoid(ds, serial);
+}
+
+NodeId approximate_medoid(const Dataset& ds, BuildExecutor& exec) {
   const std::size_t n = ds.num_base();
   const std::size_t dim = ds.dim();
   if (n == 0) return 0;
+  // The centroid accumulates serially: float addition is order-sensitive,
+  // and the centroid must not depend on the thread count.
   std::vector<float> centroid(dim, 0.0f);
   for (std::size_t i = 0; i < n; ++i) {
     const auto v = ds.base_vector(i);
@@ -128,19 +161,35 @@ NodeId approximate_medoid(const Dataset& ds) {
   }
   for (auto& c : centroid) c /= static_cast<float>(n);
 
+  // The scan parallelizes: per-row distances are chunk-invariant, and the
+  // (distance, id) merge below ties to the lowest id, so the winner never
+  // depends on how parallel_for split the range.
   NodeId best = 0;
   float best_d = kInfDist;
-  std::vector<float> dists(std::min<std::size_t>(n, kScanChunk));
-  for (std::size_t begin = 0; begin < n; begin += kScanChunk) {
-    const std::size_t len = std::min(kScanChunk, n - begin);
-    ds.distance_batch_range(centroid, begin, len, dists);
-    for (std::size_t i = 0; i < len; ++i) {
-      if (dists[i] < best_d) {
-        best_d = dists[i];
-        best = static_cast<NodeId>(begin + i);
+  std::mutex merge_mu;
+  if (ds.metric() == Metric::kCosine) ds.base_norms();  // warm before forking
+  if (ds.storage() != StorageCodec::kF32) ds.vector_store();
+  exec.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    NodeId local_best = 0;
+    float local_d = kInfDist;
+    std::vector<float> dists(std::min(end - begin, kScanChunk));
+    for (std::size_t first = begin; first < end; first += kScanChunk) {
+      const std::size_t len = std::min(kScanChunk, end - first);
+      ds.distance_batch_range(centroid, first, len, dists);
+      for (std::size_t i = 0; i < len; ++i) {
+        const auto id = static_cast<NodeId>(first + i);
+        if (dists[i] < local_d || (dists[i] == local_d && id < local_best)) {
+          local_d = dists[i];
+          local_best = id;
+        }
       }
     }
-  }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    if (local_d < best_d || (local_d == best_d && local_best < best)) {
+      best_d = local_d;
+      best = local_best;
+    }
+  });
   return best;
 }
 

@@ -12,28 +12,41 @@
 
 namespace algas {
 
-Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
+BuildReport build_cagra(const Dataset& ds, const BuildConfig& cfg) {
   const std::size_t n = ds.num_base();
-  Graph g(n, cfg.degree);
-  if (n == 0) return g;
+  BuildReport out;
+  out.graph = Graph(n, cfg.degree);
+  Graph& g = out.graph;
+  if (n == 0) return out;
   if (n == 1) {
     g.set_entry_point(0);
-    return g;
+    return out;
   }
+
+  BuildExecutor exec(cfg.threads);
 
   // --- 1. scaffold NSW + kNN lists -------------------------------------
   BuildConfig scaffold_cfg = cfg;
   scaffold_cfg.degree = std::min<std::size_t>(cfg.degree, n - 1);
-  const Graph scaffold = build_nsw(ds, scaffold_cfg);
+  BuildReport scaffold_report = build_nsw(ds, scaffold_cfg);
+  const Graph& scaffold = scaffold_report.graph;
+  // The scaffold dominates the modeled construction time; the refinement
+  // passes below add their beam-search distance evals on top.
+  out.virtual_build_ns = scaffold_report.virtual_build_ns;
+  out.serial_build_ns = scaffold_report.serial_build_ns;
+  out.batches = scaffold_report.batches;
+  out.scored_points = scaffold_report.scored_points;
 
   const std::size_t k = std::min(2 * cfg.degree, n - 1);
   std::vector<std::vector<std::pair<float, NodeId>>> knn(n);
+  std::vector<std::size_t> scored(n, 0);
   if (ds.metric() == Metric::kCosine) ds.base_norms();  // warm before forking
-  global_pool().parallel_for(n, [&](std::size_t begin, std::size_t end) {
+  if (ds.storage() != StorageCodec::kF32) ds.vector_store();
+  exec.parallel_for(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t v = begin; v < end; ++v) {
       auto found = build_beam_search(ds, scaffold, ds.base_vector(v),
                                      std::max(cfg.ef_construction, k + 1),
-                                     scaffold.entry_point(), n);
+                                     scaffold.entry_point(), n, &scored[v]);
       auto& list = knn[v];
       list.reserve(k);
       for (const auto& [d, u] : found) {
@@ -43,6 +56,7 @@ Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
       }
     }
   });
+  for (std::size_t v = 0; v < n; ++v) out.scored_points += scored[v];
 
   // --- 2. rank-based reordering (CAGRA's edge importance) ----------------
   // Edge (v,u) is weighted by its detourable count: how many closer
@@ -52,8 +66,7 @@ Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
   // nearness. This keeps the true near neighbors (count 0) while demoting
   // redundant intra-cluster edges, unlike a binary prune.
   std::vector<std::vector<NodeId>> kept(n), dropped(n);
-  if (ds.metric() == Metric::kCosine) ds.base_norms();  // warm before forking
-  global_pool().parallel_for(n, [&](std::size_t begin, std::size_t end) {
+  exec.parallel_for(n, [&](std::size_t begin, std::size_t end) {
     std::vector<std::pair<std::uint32_t, std::size_t>> order;  // (count, rank)
     std::vector<NodeId> closer_ids;  // ids of list[0..i) — the closer prefix
     std::vector<float> closer_dists;
@@ -112,7 +125,7 @@ Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
     for (NodeId u : dropped[v]) add(u, row.size());
   }
 
-  g.set_entry_point(approximate_medoid(ds));
+  g.set_entry_point(approximate_medoid(ds, exec));
 
   // --- 4. connectivity augmentation -------------------------------------
   // A pruned kNN graph of clustered data splits into per-cluster islands;
@@ -154,9 +167,12 @@ Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
       if (reachable.test(v)) continue;
       // Nearest reachable node to v: a beam search from the entry can only
       // surface reachable nodes.
+      std::size_t stitch_scored = 0;
       auto found = build_beam_search(
           ds, g, ds.base_vector(v),
-          std::max<std::size_t>(cfg.ef_construction, 8), g.entry_point(), n);
+          std::max<std::size_t>(cfg.ef_construction, 8), g.entry_point(), n,
+          &stitch_scored);
+      out.scored_points += stitch_scored;
       NodeId bridge = g.entry_point();
       for (const auto& [d, u] : found) {
         if (reachable.test(u)) {
@@ -188,7 +204,7 @@ Graph build_cagra(const Dataset& ds, const BuildConfig& cfg) {
       flood(v);
     }
   }
-  return g;
+  return out;
 }
 
 }  // namespace algas

@@ -7,12 +7,16 @@
 //      candidates, closest first.
 // The result is a fixed out-degree graph with the strong-connectivity
 // properties CAGRA's search relies on.
+//
+// The per-node phases (kNN refinement, detour counting) run on the build
+// executor; every parallel phase writes only per-node slots, so the result
+// is byte-identical for any thread count.
 #pragma once
 
 #include "graph/builder.hpp"
 
 namespace algas {
 
-Graph build_cagra(const Dataset& ds, const BuildConfig& cfg);
+BuildReport build_cagra(const Dataset& ds, const BuildConfig& cfg);
 
 }  // namespace algas

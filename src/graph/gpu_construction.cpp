@@ -2,19 +2,15 @@
 
 #include <algorithm>
 #include <queue>
-#include <utility>
 #include <vector>
 
-#include "graph/neighbor_selection.hpp"
+#include "graph/nsw_builder.hpp"
 #include "simgpu/shared_memory.hpp"
 
 namespace algas {
 
-namespace {
-
-/// List-scheduling makespan of `durations` on `capacity` concurrent CTAs.
-double wave_makespan(const std::vector<double>& durations,
-                     std::size_t capacity) {
+double construction_wave_makespan(const std::vector<double>& durations,
+                                  std::size_t capacity) {
   std::priority_queue<double, std::vector<double>, std::greater<double>>
       servers;
   for (std::size_t i = 0; i < capacity; ++i) servers.push(0.0);
@@ -28,13 +24,10 @@ double wave_makespan(const std::vector<double>& durations,
   return end;
 }
 
-/// Full-speed CTA capacity for a construction kernel holding an
-/// ef_construction-sized candidate list per block.
-std::size_t construction_capacity(const GpuBuildConfig& cfg,
-                                  std::size_t dim) {
+std::size_t construction_capacity(const BuildConfig& cfg, std::size_t dim) {
   sim::SharedMemoryLayout layout;
-  layout.candidate_entries = next_pow2(cfg.base.ef_construction);
-  layout.expand_entries = next_pow2(cfg.base.degree);
+  layout.candidate_entries = next_pow2(cfg.ef_construction);
+  layout.expand_entries = next_pow2(cfg.degree);
   layout.dim = dim;
   std::size_t best = 0;
   for (std::size_t bpsm = 1; bpsm <= cfg.device.max_blocks_per_sm; ++bpsm) {
@@ -46,108 +39,28 @@ std::size_t construction_capacity(const GpuBuildConfig& cfg,
       1, std::min(best * cfg.device.num_sms, cfg.device.full_speed_ctas()));
 }
 
-/// Modeled cost of one insertion whose search scored `scored` points:
-/// distance work plus the candidate-list maintenance that accompanies it.
-double insert_cost_ns(const GpuBuildConfig& cfg, std::size_t dim,
-                      std::size_t scored) {
+double construction_insert_cost_ns(const BuildConfig& cfg, std::size_t dim,
+                                   std::size_t scored) {
   const sim::CostModel& cm = cfg.cost;
   const std::size_t rounds =
-      std::max<std::size_t>(1, scored / std::max<std::size_t>(1,
-                                                              cfg.base.degree));
-  const std::size_t ef_pow2 = next_pow2(cfg.base.ef_construction);
+      std::max<std::size_t>(1,
+                            scored / std::max<std::size_t>(1, cfg.degree));
+  const std::size_t ef_pow2 = next_pow2(cfg.ef_construction);
   return cm.distance_round_ns(dim, scored) +
          static_cast<double>(rounds) *
-             (cm.bitonic_sort_ns(next_pow2(cfg.base.degree)) +
+             (cm.bitonic_sort_ns(next_pow2(cfg.degree)) +
               cm.bitonic_merge_ns(2 * ef_pow2)) +
          // Link application: the select-neighbors heuristic evaluates
          // roughly degree^2 / 2 pairwise distances per inserted node.
-         cm.distance_round_ns(dim, cfg.base.degree * cfg.base.degree / 2);
+         cm.distance_round_ns(dim, cfg.degree * cfg.degree / 2);
 }
 
-}  // namespace
-
 GpuBuildResult gpu_build_nsw(const Dataset& ds, const GpuBuildConfig& cfg) {
-  const std::size_t n = ds.num_base();
-  GpuBuildResult out;
-  out.graph = Graph(n, cfg.base.degree);
-  Graph& g = out.graph;
-  if (n == 0) return out;
-  if (n == 1) {
-    g.set_entry_point(0);
-    return out;
-  }
-
-  const std::size_t capacity = construction_capacity(cfg, ds.dim());
-  const std::size_t batch = std::max<std::size_t>(1, cfg.insert_batch);
-  const std::size_t m = std::min(cfg.base.degree, n - 1);
-
-  std::vector<double> durations;
-  std::vector<std::vector<std::pair<float, NodeId>>> found;
-  for (std::size_t begin = 0; begin < n; begin += batch) {
-    const std::size_t end = std::min(begin + batch, n);
-    durations.clear();
-    found.assign(end - begin, {});
-
-    if (begin == 0) {
-      // Bootstrap batch: no prefix graph exists; points score each other
-      // exhaustively (the GPU does this as a brute-force tile kernel —
-      // here one batched range scan per inserted point).
-      std::vector<float> tile;
-      for (std::size_t v = 1; v < end; ++v) {
-        auto& list = found[v];
-        tile.resize(v);
-        ds.distance_batch_range(ds.base_vector(v), 0, v, tile);
-        for (std::size_t u = 0; u < v; ++u) {
-          list.emplace_back(tile[u], static_cast<NodeId>(u));
-        }
-        std::sort(list.begin(), list.end());
-        if (list.size() > cfg.base.ef_construction) {
-          list.resize(cfg.base.ef_construction);
-        }
-        durations.push_back(insert_cost_ns(cfg, ds.dim(), v));
-      }
-    } else {
-      // One CTA per insertion searches the already-built prefix.
-      for (std::size_t v = begin; v < end; ++v) {
-        std::size_t scored = 0;
-        found[v - begin] = build_beam_search(
-            ds, g, ds.base_vector(v),
-            std::max(cfg.base.ef_construction, m), 0, begin, &scored);
-        out.scored_points += scored;
-        durations.push_back(insert_cost_ns(cfg, ds.dim(), scored));
-      }
-    }
-
-    // Apply the batch's links (order within the batch is the id order, so
-    // results stay deterministic). One batched round scores the selected
-    // row before backlinking.
-    std::vector<NodeId> row_ids;
-    std::vector<float> row_dists;
-    for (std::size_t v = begin; v < end; ++v) {
-      auto& candidates = found[v - begin];
-      if (candidates.empty()) continue;
-      select_neighbors(ds, g, static_cast<NodeId>(v), candidates);
-      row_ids.clear();
-      for (NodeId u : g.neighbors(static_cast<NodeId>(v))) {
-        if (u != kInvalidNode) row_ids.push_back(u);
-      }
-      row_dists.resize(row_ids.size());
-      ds.distance_batch(ds.base_vector(v), row_ids, row_dists);
-      for (std::size_t i = 0; i < row_ids.size(); ++i) {
-        link(ds, g, row_ids[i], static_cast<NodeId>(v), row_dists[i]);
-      }
-    }
-
-    out.virtual_build_ns +=
-        cfg.cost.kernel_launch_ns + wave_makespan(durations, capacity);
-    for (double d : durations) out.serial_build_ns += d;
-    ++out.batches;
-  }
-  out.serial_build_ns +=
-      cfg.cost.kernel_launch_ns * static_cast<double>(out.batches);
-
-  g.set_entry_point(approximate_medoid(ds));
-  return out;
+  BuildConfig flat = cfg.base;
+  flat.insert_batch = cfg.insert_batch;
+  flat.device = cfg.device;
+  flat.cost = cfg.cost;
+  return build_graph(GraphKind::kNsw, ds, flat);
 }
 
 }  // namespace algas

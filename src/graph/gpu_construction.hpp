@@ -1,22 +1,37 @@
-// GANNS-style batched graph construction on the simulated GPU
-// [Yu et al., ICDE'22].
+// Virtual-time model of GANNS-style batched graph construction on the
+// simulated GPU [Yu et al., ICDE'22], plus the deprecated pre-BuildReport
+// entry point.
 //
 // The paper's indexes are "NSW-GANNS" graphs: GANNS's contribution is
 // constructing them on the GPU by inserting points in large batches — every
 // point of a batch searches the already-built prefix concurrently (one CTA
-// per insertion), then the batch's links are applied. This module provides
-// that substrate: the functional output is an NSW graph (quality matching
-// the sequential builder within a small margin, verified by tests), and the
-// build *time* is a virtual-time measurement of the batched schedule on the
-// device — reproducing GANNS's construction-speedup claim in-model.
+// per insertion), then the batch's links are applied. The batched builder
+// itself lives in nsw_builder.cpp (it is the one NSW builder, host-
+// parallelized the same way); this module provides its cost model: the
+// functional output is the NSW graph, and the build *time* is a
+// virtual-time measurement of the batched schedule on the device —
+// reproducing GANNS's construction-speedup claim in-model.
 #pragma once
 
 #include "graph/builder.hpp"
-#include "simgpu/cost_model.hpp"
-#include "simgpu/device_props.hpp"
 
 namespace algas {
 
+/// List-scheduling makespan of `durations` on `capacity` concurrent CTAs.
+double construction_wave_makespan(const std::vector<double>& durations,
+                                  std::size_t capacity);
+
+/// Full-speed CTA capacity for a construction kernel holding an
+/// ef_construction-sized candidate list per block.
+std::size_t construction_capacity(const BuildConfig& cfg, std::size_t dim);
+
+/// Modeled cost of one insertion whose search scored `scored` points:
+/// distance work plus the candidate-list maintenance that accompanies it.
+double construction_insert_cost_ns(const BuildConfig& cfg, std::size_t dim,
+                                   std::size_t scored);
+
+/// Deprecated: BuildConfig absorbed these knobs (`insert_batch`, `device`,
+/// `cost` live directly on it). Kept so old call sites keep compiling.
 struct GpuBuildConfig {
   BuildConfig base;
   /// Insertions dispatched per construction kernel.
@@ -25,19 +40,14 @@ struct GpuBuildConfig {
   sim::CostModel cost;
 };
 
-struct GpuBuildResult {
-  Graph graph;
-  double virtual_build_ns = 0.0;   ///< wave-scheduled batched construction
-  double serial_build_ns = 0.0;    ///< same work on one CTA (the baseline)
-  std::size_t batches = 0;
-  std::size_t scored_points = 0;   ///< distance evaluations, total
+/// Deprecated alias: gpu_build_nsw now returns the unified BuildReport
+/// (same fields the old GpuBuildResult carried, plus wall time).
+using GpuBuildResult = BuildReport;
 
-  double speedup() const {
-    return virtual_build_ns > 0.0 ? serial_build_ns / virtual_build_ns : 0.0;
-  }
-};
-
-/// Build an NSW graph with batched GPU insertion.
+/// Deprecated shim over build_graph(GraphKind::kNsw, ...): flattens the
+/// GpuBuildConfig onto a BuildConfig and forwards.
+[[deprecated("use build_graph(GraphKind::kNsw, ds, cfg) — BuildConfig "
+             "carries insert_batch/device/cost directly")]]
 GpuBuildResult gpu_build_nsw(const Dataset& ds, const GpuBuildConfig& cfg);
 
 }  // namespace algas

@@ -1,4 +1,10 @@
 // Neighbor-selection heuristics shared by the graph builders.
+//
+// Both functions mutate shared adjacency rows (link() rewrites the
+// *target's* row on backlink overflow), so the builders call them only
+// from the serial link phase, in insertion-id order — never from inside a
+// BuildExecutor::parallel_for. That ordering is what makes the built
+// graph independent of the construction thread count.
 #pragma once
 
 #include <utility>

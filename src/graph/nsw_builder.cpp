@@ -4,46 +4,118 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+#include "graph/gpu_construction.hpp"
 #include "graph/neighbor_selection.hpp"
 
 namespace algas {
 
-
-Graph build_nsw(const Dataset& ds, const BuildConfig& cfg) {
+BuildReport build_nsw(const Dataset& ds, const BuildConfig& cfg) {
   const std::size_t n = ds.num_base();
-  Graph g(n, cfg.degree);
-  if (n == 0) return g;
+  BuildReport out;
+  out.graph = Graph(n, cfg.degree);
+  Graph& g = out.graph;
+  if (n == 0) return out;
   if (n == 1) {
     g.set_entry_point(0);
-    return g;
+    return out;
   }
 
-  // Insert sequentially. The first node is the provisional entry point;
-  // the medoid replaces it at the end.
+  BuildExecutor exec(cfg.threads);
+  const std::size_t capacity = construction_capacity(cfg, ds.dim());
+  const std::size_t batch = std::max<std::size_t>(1, cfg.insert_batch);
   const std::size_t m = std::min(cfg.degree, n - 1);
+  const std::size_t ef = std::max(cfg.ef_construction, m);
+
+  // Warm the lazily-built dataset caches before forking: the norm table
+  // (cosine) and the encoded store (quantized codecs) are not thread-safe
+  // on first touch.
+  if (ds.metric() == Metric::kCosine) ds.base_norms();
+  if (ds.storage() != StorageCodec::kF32) ds.vector_store();
+
+  std::vector<std::vector<std::pair<float, NodeId>>> found;
+  std::vector<std::size_t> scored;
+  std::vector<double> durations;
   std::vector<NodeId> row_ids;
   std::vector<float> row_dists;
-  row_ids.reserve(cfg.degree);
-  row_dists.reserve(cfg.degree);
-  for (NodeId v = 1; v < n; ++v) {
-    auto found = build_beam_search(ds, g, ds.base_vector(v),
-                                   std::max(cfg.ef_construction, m), 0, v);
-    // Connect v to a diverse selection of its beam, then backlink. One
-    // batched round scores the whole selected row against v.
-    select_neighbors(ds, g, v, found);
-    row_ids.clear();
-    for (NodeId u : g.neighbors(v)) {
-      if (u != kInvalidNode) row_ids.push_back(u);
-    }
-    row_dists.resize(row_ids.size());
-    ds.distance_batch(ds.base_vector(v), row_ids, row_dists);
-    for (std::size_t i = 0; i < row_ids.size(); ++i) {
-      link(ds, g, row_ids[i], v, row_dists[i]);
-    }
-  }
+  for (std::size_t begin = 0; begin < n; begin += batch) {
+    const std::size_t end = std::min(begin + batch, n);
+    found.assign(end - begin, {});
+    scored.assign(end - begin, 0);
+    durations.clear();
 
-  g.set_entry_point(approximate_medoid(ds));
-  return g;
+    // Phase 1 — concurrent searches against the frozen prefix [0, begin).
+    // Each insertion writes only its own found/scored slot, so the phase
+    // is embarrassingly parallel and its results are independent of the
+    // chunking (the byte-identity guarantee).
+    if (begin == 0) {
+      // Bootstrap batch: no prefix graph exists; points score each other
+      // exhaustively (the GPU does this as a brute-force tile kernel —
+      // here one batched range scan per inserted point).
+      exec.parallel_for(end - 1, [&](std::size_t lo, std::size_t hi) {
+        std::vector<float> tile;
+        for (std::size_t v = lo + 1; v < hi + 1; ++v) {
+          auto& list = found[v];
+          tile.resize(v);
+          ds.distance_batch_range(ds.base_vector(v), 0, v, tile);
+          list.reserve(v);
+          for (std::size_t u = 0; u < v; ++u) {
+            list.emplace_back(tile[u], static_cast<NodeId>(u));
+          }
+          std::sort(list.begin(), list.end());
+          if (list.size() > cfg.ef_construction) {
+            list.resize(cfg.ef_construction);
+          }
+          scored[v] = v;
+        }
+      });
+    } else {
+      exec.parallel_for(end - begin, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t v = begin + i;
+          found[i] = build_beam_search(ds, g, ds.base_vector(v), ef, 0,
+                                       begin, &scored[i]);
+        }
+      });
+    }
+    // Cost accounting stays serial and in insertion-id order so the
+    // modeled times match the serial schedule exactly.
+    for (std::size_t i = begin == 0 ? 1 : 0; i < end - begin; ++i) {
+      out.scored_points += scored[i];
+      durations.push_back(construction_insert_cost_ns(cfg, ds.dim(),
+                                                      scored[i]));
+    }
+
+    // Phase 2 — apply the batch's links serially in insertion-id order.
+    // select_neighbors rewrites v's own row from its beam; link() backlinks
+    // into earlier rows. Serial application makes every row a deterministic
+    // fold over the batch.
+    for (std::size_t v = std::max<std::size_t>(begin, 1); v < end; ++v) {
+      auto& candidates = found[v - begin];
+      if (candidates.empty()) continue;
+      select_neighbors(ds, g, static_cast<NodeId>(v), candidates);
+      row_ids.clear();
+      for (NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+        if (u != kInvalidNode) row_ids.push_back(u);
+      }
+      row_dists.resize(row_ids.size());
+      ds.distance_batch(ds.base_vector(v), row_ids, row_dists);
+      for (std::size_t i = 0; i < row_ids.size(); ++i) {
+        link(ds, g, row_ids[i], static_cast<NodeId>(v), row_dists[i]);
+      }
+    }
+
+    out.virtual_build_ns +=
+        cfg.cost.kernel_launch_ns + construction_wave_makespan(durations,
+                                                               capacity);
+    for (double d : durations) out.serial_build_ns += d;
+    ++out.batches;
+  }
+  out.serial_build_ns +=
+      cfg.cost.kernel_launch_ns * static_cast<double>(out.batches);
+
+  g.set_entry_point(approximate_medoid(ds, exec));
+  return out;
 }
 
 }  // namespace algas

@@ -1,13 +1,18 @@
-// NSW graph construction in the GANNS style [Yu et al., ICDE'22]: points are
-// inserted one at a time; each new point is connected to its ef_construction
-// beam-search neighborhood, capped at `degree` per row with
-// closest-first replacement on overflow.
+// NSW graph construction in the GANNS style [Yu et al., ICDE'22]: points
+// are inserted in batches of cfg.insert_batch. Every point of a batch beam-
+// searches the frozen prefix (all previous batches) concurrently — the
+// host-side analogue of one CTA per insertion — then the batch's links are
+// applied serially in insertion-id order, capped at `degree` per row with
+// the select-neighbors heuristic on overflow. The two-phase structure makes
+// the graph a pure function of (dataset, config): byte-identical for any
+// thread count. insert_batch=1 degenerates to classic one-at-a-time
+// insertion.
 #pragma once
 
 #include "graph/builder.hpp"
 
 namespace algas {
 
-Graph build_nsw(const Dataset& ds, const BuildConfig& cfg);
+BuildReport build_nsw(const Dataset& ds, const BuildConfig& cfg);
 
 }  // namespace algas

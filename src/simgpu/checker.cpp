@@ -128,10 +128,8 @@ bool simcheck_default_enabled() {
   constexpr bool kCompiledDefault = false;
 #endif
   static const bool enabled = [] {
-    const std::string v = env_string("ALGAS_SIMCHECK", "");
-    if (v == "1" || v == "on" || v == "ON") return true;
-    if (v == "0" || v == "off" || v == "OFF") return false;
-    return kCompiledDefault;
+    const int v = RuntimeOptions::from_env().simcheck;
+    return v < 0 ? kCompiledDefault : v != 0;
   }();
   return enabled;
 }

@@ -238,7 +238,7 @@ void Tracer::clear() {
 }
 
 const std::string& trace_default_path() {
-  static const std::string path = env_string("ALGAS_TRACE", "");
+  static const std::string path = RuntimeOptions::from_env().trace_path;
   return path;
 }
 

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/bitset.hpp"
@@ -273,6 +276,107 @@ TEST(ThreadPool, SingleThreadPoolStillWorks) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  // The throwing chunk can land on a worker thread or on the caller (the
+  // caller runs the last chunk); both must surface at the call site.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b == 0) {
+                                     throw std::runtime_error("chunk failed");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesCallerChunkException) {
+  ThreadPool pool(4);
+  // The caller always runs the final chunk: throw only there.
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::size_t, std::size_t e) {
+                                   if (e == 1000) {
+                                     throw std::runtime_error("tail failed");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   100, [](std::size_t, std::size_t) { throw 42; }),
+               int);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitExceptionSurfacesAtWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the next wait is clean.
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, NestedParallelForRejected) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> nested_throws{0};
+  outer.parallel_for(8, [&](std::size_t, std::size_t) {
+    try {
+      inner.parallel_for(4, [](std::size_t, std::size_t) {});
+    } catch (const std::logic_error&) {
+      nested_throws.fetch_add(1);
+    }
+  });
+  EXPECT_GT(nested_throws.load(), 0);
+}
+
+TEST(ThreadPool, StressManyParallelForRounds) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<std::uint64_t>> sums(64);
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) sums[i].fetch_add(i);
+    });
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[i].load(), 200u * i);
+  }
+}
+
+TEST(BuildExecutorTest, SerialExecutorRunsInline) {
+  BuildExecutor exec(1);
+  EXPECT_EQ(exec.threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  exec.parallel_for(10, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(BuildExecutorTest, ParallelExecutorCoversRange) {
+  BuildExecutor exec(4);
+  EXPECT_EQ(exec.threads(), 4u);
+  std::vector<std::atomic<int>> hits(777);
+  exec.parallel_for(777, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(BuildExecutorTest, ZeroResolvesFromEnvironment) {
+  ::setenv("ALGAS_BUILD_THREADS", "3", 1);
+  BuildExecutor exec(0);
+  EXPECT_EQ(exec.threads(), 3u);
+  ::unsetenv("ALGAS_BUILD_THREADS");
+  BuildExecutor hw(0);
+  EXPECT_GE(hw.threads(), 1u);
+}
+
 // ---------------- env.hpp ----------------
 
 TEST(Env, Fallbacks) {
@@ -298,6 +402,60 @@ TEST(Env, ScaleClamped) {
   ::setenv("ALGAS_SCALE", "0.0001", 1);
   EXPECT_DOUBLE_EQ(dataset_scale(), 0.01);
   ::unsetenv("ALGAS_SCALE");
+}
+
+TEST(RuntimeOptionsTest, DefaultsWhenUnset) {
+  for (const char* var :
+       {"ALGAS_SCALE", "ALGAS_QUERIES", "ALGAS_DATASETS", "ALGAS_CACHE_DIR",
+        "ALGAS_STORAGE", "ALGAS_TRACE", "ALGAS_SIMCHECK",
+        "ALGAS_BUILD_THREADS"}) {
+    ::unsetenv(var);
+  }
+  const RuntimeOptions opts = RuntimeOptions::from_env();
+  EXPECT_DOUBLE_EQ(opts.scale, 1.0);
+  EXPECT_EQ(opts.queries, 0u);
+  EXPECT_EQ(opts.datasets, "sift,gist,glove,nytimes");
+  EXPECT_EQ(opts.cache_dir, "./algas_cache");
+  EXPECT_EQ(opts.storage, "f32");
+  EXPECT_TRUE(opts.trace_path.empty());
+  EXPECT_EQ(opts.simcheck, -1);
+  EXPECT_EQ(opts.build_threads, 0u);
+}
+
+TEST(RuntimeOptionsTest, ReadsEveryKnob) {
+  ::setenv("ALGAS_SCALE", "0.5", 1);
+  ::setenv("ALGAS_QUERIES", "40", 1);
+  ::setenv("ALGAS_DATASETS", "sift", 1);
+  ::setenv("ALGAS_CACHE_DIR", "/tmp/algas_test_cache", 1);
+  ::setenv("ALGAS_STORAGE", "f16", 1);
+  ::setenv("ALGAS_TRACE", "out.json", 1);
+  ::setenv("ALGAS_SIMCHECK", "on", 1);
+  ::setenv("ALGAS_BUILD_THREADS", "2", 1);
+  const RuntimeOptions opts = RuntimeOptions::from_env();
+  EXPECT_DOUBLE_EQ(opts.scale, 0.5);
+  EXPECT_EQ(opts.queries, 40u);
+  EXPECT_EQ(opts.datasets, "sift");
+  EXPECT_EQ(opts.cache_dir, "/tmp/algas_test_cache");
+  EXPECT_EQ(opts.storage, "f16");
+  EXPECT_EQ(opts.trace_path, "out.json");
+  EXPECT_EQ(opts.simcheck, 1);
+  EXPECT_EQ(opts.build_threads, 2u);
+  for (const char* var :
+       {"ALGAS_SCALE", "ALGAS_QUERIES", "ALGAS_DATASETS", "ALGAS_CACHE_DIR",
+        "ALGAS_STORAGE", "ALGAS_TRACE", "ALGAS_SIMCHECK",
+        "ALGAS_BUILD_THREADS"}) {
+    ::unsetenv(var);
+  }
+}
+
+TEST(RuntimeOptionsTest, SimcheckParsesOnOffAndGarbage) {
+  ::setenv("ALGAS_SIMCHECK", "1", 1);
+  EXPECT_EQ(RuntimeOptions::from_env().simcheck, 1);
+  ::setenv("ALGAS_SIMCHECK", "off", 1);
+  EXPECT_EQ(RuntimeOptions::from_env().simcheck, 0);
+  ::setenv("ALGAS_SIMCHECK", "maybe", 1);
+  EXPECT_EQ(RuntimeOptions::from_env().simcheck, -1);
+  ::unsetenv("ALGAS_SIMCHECK");
 }
 
 }  // namespace

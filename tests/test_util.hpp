@@ -35,8 +35,8 @@ inline const TinyWorld& tiny_world(Metric metric = Metric::kL2) {
     BuildConfig cfg;
     cfg.degree = 16;
     cfg.ef_construction = 48;
-    world->nsw = build_graph(GraphKind::kNsw, world->ds, cfg);
-    world->cagra = build_graph(GraphKind::kCagra, world->ds, cfg);
+    world->nsw = build_graph(GraphKind::kNsw, world->ds, cfg).graph;
+    world->cagra = build_graph(GraphKind::kCagra, world->ds, cfg).graph;
     return world;
   };
   static std::unique_ptr<TinyWorld> l2 = make(Metric::kL2);

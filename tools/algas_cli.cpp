@@ -1,11 +1,14 @@
 // algas_cli — operational front-end for the library.
 //
 //   algas_cli gen    --name sift --n 20000 --q 200 --out ds.abin
-//   algas_cli gt     --dataset ds.abin --k 100 --out ds.abin
+//   algas_cli gt     --dataset ds.abin --k 100 [--threads N] --out ds.abin
 //   algas_cli import --name my --base b.fvecs --query q.fvecs
 //                    [--gt gt.ivecs] [--metric l2|cosine|ip] --out ds.abin
 //   algas_cli build  --dataset ds.abin --kind nsw|cagra --degree 32
-//                    [--ef 64] [--storage f32|f16|int8] --out graph.agr
+//                    [--ef 64] [--storage f32|f16|int8] [--threads N]
+//                    [--batch N] --out graph.agr
+//                    (--threads 0 = ALGAS_BUILD_THREADS, then hardware; the
+//                    graph is byte-identical for any thread count)
 //   algas_cli stats  --dataset ds.abin [--graph graph.agr]
 //   algas_cli search --dataset ds.abin --graph graph.agr [--engine algas|
 //                    cagra|ganns|ivf] [--topk 16] [--list 128] [--slots 16]
@@ -14,7 +17,9 @@
 //                    [--storage f32|f16|int8]  (base-row codec; see DESIGN.md)
 //                    [--trace out.json]  (SimTrace timeline; open in Perfetto)
 //
-// Every command prints a short human-readable report to stdout.
+// Flag precedence follows the repo-wide rule (common/env.hpp): an explicit
+// CLI flag wins, then the ALGAS_* environment variable, then the compiled
+// default. Every command prints a short human-readable report to stdout.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,8 +91,10 @@ GraphKind parse_kind(const std::string& s) {
 /// Apply --storage to a freshly loaded dataset. Quantization happens after
 /// load so cached ground truth stays f32-exact; recall then measures the
 /// codec's loss (see DESIGN.md "Quantized storage and the recall gate").
+/// Default comes from ALGAS_STORAGE (flag > env > "f32").
 void apply_storage(Dataset& ds, const Args& args) {
-  const std::string codec = args.get_or("storage", "f32");
+  const std::string codec =
+      args.get_or("storage", RuntimeOptions::from_env().storage);
   ds.set_storage(parse_storage_codec(codec));
 }
 
@@ -117,7 +124,8 @@ int cmd_gen(const Args& args) {
 
 int cmd_gt(const Args& args) {
   Dataset ds = load_dataset(args.get("dataset"));
-  compute_ground_truth(ds, args.get_size("k", 100));
+  compute_ground_truth(ds, args.get_size("k", 100),
+                       args.get_size("threads", 0));
   save_dataset(ds, args.get("out"));
   std::printf("attached gt@%zu: %s\n", ds.gt_k(), ds.describe().c_str());
   return 0;
@@ -139,12 +147,21 @@ int cmd_build(const Args& args) {
   BuildConfig cfg;
   cfg.degree = args.get_size("degree", 32);
   cfg.ef_construction = args.get_size("ef", 64);
-  const Graph g = build_graph(parse_kind(args.get("kind")), ds, cfg);
+  // --threads/--batch default to the environment (flag > env > default).
+  cfg.threads = args.get_size("threads", RuntimeOptions::from_env().build_threads);
+  cfg.insert_batch = args.get_size("batch", cfg.insert_batch);
+  const BuildReport report = build_graph(parse_kind(args.get("kind")), ds, cfg);
+  const Graph& g = report.graph;
   g.save(args.get("out"));
   const auto stats = g.stats();
   std::printf("wrote %s: %zu nodes, avg degree %.1f, %.1f%% reachable\n",
               args.get("out").c_str(), g.num_nodes(), stats.avg_degree,
               100.0 * stats.reachable_fraction);
+  std::printf("build: %.2fs wall | virtual %.1fms batched vs %.1fms serial "
+              "(modeled %.0fx) | %zu batches | %zu distance evals\n",
+              report.wall_build_s, report.virtual_build_ns / 1e6,
+              report.serial_build_ns / 1e6, report.speedup(), report.batches,
+              report.scored_points);
   return 0;
 }
 

@@ -61,7 +61,9 @@ struct CodecResult {
 }  // namespace
 
 int main() {
-  const std::string raw = env_string("ALGAS_DATASETS", "sift");
+  const RuntimeOptions opts = RuntimeOptions::from_env();
+  std::string raw = opts.datasets;
+  if (raw.empty()) raw = "sift";
   const std::string ds_name = raw.substr(0, raw.find(','));
 
   BuildConfig build_cfg;  // bench_build_config(): shared graph-cache keys
@@ -78,11 +80,10 @@ int main() {
     // its codec-suffixed cache entry) against the quantized scores.
     Dataset ds = load_bench_dataset(ds_name);
     ds.set_storage(codec);
-    const Graph g = load_or_build_graph(GraphKind::kCagra, ds, build_cfg);
+    const Graph g = load_or_build_graph(GraphKind::kCagra, ds, build_cfg).graph;
     core::AlgasEngine engine(ds, g, gate_config());
-    const std::size_t nq =
-        std::min(env_size("ALGAS_QUERIES", ds.num_queries()),
-                 ds.num_queries());
+    const std::size_t nq = std::min(
+        opts.queries == 0 ? ds.num_queries() : opts.queries, ds.num_queries());
     const auto rep = engine.run_closed_loop(nq);
 
     CodecResult r;
