@@ -172,8 +172,7 @@ int main() {
   }
   table.print(std::cout);
 
-  const std::string out_path =
-      env_string("ALGAS_WALLTIME_OUT", "BENCH_walltime.json");
+  const std::string out_path = RuntimeOptions::from_env().walltime_out;
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot write " + out_path);
   out.setf(std::ios::fixed);

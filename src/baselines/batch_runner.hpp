@@ -11,26 +11,29 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/ownership.hpp"
 #include "simgpu/cost_model.hpp"
 #include "simgpu/device_props.hpp"
 #include "simgpu/shared_memory.hpp"
 
 namespace algas::baselines {
 
+/// Tasks and timings are values: built up locally by the scheduler, then
+/// read-only once returned to the engine (the batch already happened).
 struct CtaTask {
-  std::size_t query = 0;     ///< index within the batch
-  double duration_ns = 0.0;  ///< modeled search time of this CTA
+  std::size_t query ALGAS_IMMUTABLE_AFTER_PUBLISH = 0;     ///< batch index
+  double duration_ns ALGAS_IMMUTABLE_AFTER_PUBLISH = 0.0;  ///< modeled time
 };
 
 struct BatchTiming {
   /// Per-batch-query completion of the query's own CTAs (before merge),
   /// relative to batch start.
-  std::vector<double> query_search_end;
+  std::vector<double> query_search_end ALGAS_IMMUTABLE_AFTER_PUBLISH;
   /// Per-query completion including its TopK merge.
-  std::vector<double> query_final;
-  double gpu_end_ns = 0.0;   ///< when the kernel (all queries) finishes
-  double idle_ns = 0.0;      ///< CTA-time spent waiting at the batch barrier
-  double active_ns = 0.0;    ///< CTA-time spent searching/merging
+  std::vector<double> query_final ALGAS_IMMUTABLE_AFTER_PUBLISH;
+  double gpu_end_ns ALGAS_IMMUTABLE_AFTER_PUBLISH = 0.0;   ///< kernel end
+  double idle_ns ALGAS_IMMUTABLE_AFTER_PUBLISH = 0.0;      ///< barrier wait
+  double active_ns ALGAS_IMMUTABLE_AFTER_PUBLISH = 0.0;    ///< search/merge
 };
 
 /// Greedy list scheduling of `tasks` (in order) onto `capacity` resident

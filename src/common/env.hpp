@@ -26,6 +26,10 @@
 //   ALGAS_BUILD_THREADS — worker threads for offline construction work
 //                         (graph builds, ground truth, k-means). 0 / unset
 //                         picks std::thread::hardware_concurrency().
+//   ALGAS_WALLTIME_OUT  — bench_walltime JSON output path (default
+//                         "BENCH_walltime.json").
+//   ALGAS_RECALL_OUT    — recall_gate JSON output path (default
+//                         "BENCH_recall.json").
 #pragma once
 
 #include <cstddef>
@@ -54,6 +58,8 @@ struct RuntimeOptions {
   int simcheck = -1;                 ///< ALGAS_SIMCHECK: 1 on, 0 off,
                                      ///<   -1 = follow the compiled default
   std::size_t build_threads = 0;     ///< ALGAS_BUILD_THREADS, 0 = hardware
+  std::string walltime_out;          ///< ALGAS_WALLTIME_OUT JSON path
+  std::string recall_out;            ///< ALGAS_RECALL_OUT JSON path
 
   static RuntimeOptions from_env();
 };

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/ownership.hpp"
 #include "core/protocol_checker.hpp"
 #include "core/state_sync.hpp"
 #include "metrics/recall.hpp"
@@ -36,25 +37,33 @@ const char* host_sync_name(HostSync s) {
 
 namespace {
 
-/// Per-slot runtime shared between the slot's CTAs and its host worker.
+/// Per-slot runtime shared between the slot's CTAs and its host worker —
+/// the in-memory half of the Fig 9 single-writer matrix. Host-side fields
+/// are owned by the slot's HostWorker outright; the per-query scratch
+/// rotates between the CTAs (while the slot is in Work) and the host
+/// (outside Work), with the slot state machine acting as the epoch.
 struct SlotRuntime {
-  bool busy = false;            // host-side: a query is in flight
-  bool quit = false;            // host-side: slot retired
-  std::size_t query_index = 0;
-  SimTime arrival_ns = 0.0;
-  SimTime dispatch_ns = 0.0;
-  search::VisitedTable visited;
-  std::vector<NodeId> entries;        // per-CTA entry points
-  std::vector<KV> result_buffer;      // T * L contiguous block (§IV-B)
+  bool busy ALGAS_OWNED_BY(HostWorker) = false;  // a query is in flight
+  bool quit ALGAS_OWNED_BY(HostWorker) = false;  // slot retired
+  std::size_t query_index ALGAS_OWNED_BY(HostWorker) = 0;
+  SimTime arrival_ns ALGAS_OWNED_BY(HostWorker) = 0.0;
+  SimTime dispatch_ns ALGAS_OWNED_BY(HostWorker) = 0.0;
+  search::VisitedTable visited ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker,
+                                                      RunState);
+  std::vector<NodeId> entries ALGAS_OWNED_BY(HostWorker);  // per-CTA entry pts
+  // T * L contiguous result block (§IV-B): host fills/drains outside Work,
+  // CTAs write their stripes inside Work, RunState sizes it at wiring time.
+  std::vector<KV> result_buffer ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker,
+                                                       RunState);
   // Per-query accumulation harvested into the QueryRecord at completion.
-  search::StepCost gpu_cost;
-  std::size_t steps = 0;
-  std::size_t rounds = 0;
+  search::StepCost gpu_cost ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker);
+  std::size_t steps ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0;
+  std::size_t rounds ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0;
   // Completion bookkeeping (interrupt path + instrumentation).
-  std::size_t finished_ctas = 0;
-  bool complete = false;
-  SimTime gpu_done_ns = 0.0;  // when the slot's last CTA flagged Finish
-  std::uint64_t flow_id = 0;  // trace flow arrow: dispatch -> slot span
+  std::size_t finished_ctas ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0;
+  bool complete ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = false;
+  SimTime gpu_done_ns ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0.0;
+  std::uint64_t flow_id ALGAS_OWNED_BY(HostWorker) = 0;  // trace flow arrow
 };
 
 struct RunState;
@@ -149,12 +158,14 @@ struct RunState {
 
   std::size_t run_len = 0;       // candidate list length L (normalized)
   std::size_t total_queries = 0;
-  std::size_t delivered = 0;
-  std::uint64_t interrupts = 0;
-  std::uint64_t worker_steps = 0;
-  double worker_busy_ns = 0.0;
+  // Run-wide counters: each has exactly one writing actor class, so the
+  // totals are exact without any aggregation step.
+  std::size_t delivered ALGAS_OWNED_BY(HostWorker) = 0;
+  std::uint64_t interrupts ALGAS_OWNED_BY(CtaActor) = 0;
+  std::uint64_t worker_steps ALGAS_OWNED_BY(HostWorker) = 0;
+  double worker_busy_ns ALGAS_OWNED_BY(HostWorker) = 0.0;
   TraceLanes trace;
-  std::size_t in_flight = 0;  // trace counter: dispatched, not yet delivered
+  std::size_t in_flight ALGAS_OWNED_BY(HostWorker) = 0;  // dispatched, undelivered
 
   bool workload_exhausted() const { return qm.empty(); }
 };

@@ -9,6 +9,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 
 namespace algas::sim {
@@ -44,9 +45,13 @@ class QueryManager {
 
  private:
   sim::SimCheck* check_;
-  std::deque<PendingQuery> pending_;
-  std::size_t total_ = 0;
-  SimTime last_arrival_ = 0.0;
+  /// FIFO shared by every host worker; all mutation funnels through
+  /// push/pop_ready so fairness stays a property of the virtual cursors.
+  /// The streaming-mutability work will add an inserter actor here — it
+  /// must join this owner list to pass the lint.
+  std::deque<PendingQuery> pending_ ALGAS_OWNED_BY(QueryManager);
+  std::size_t total_ ALGAS_OWNED_BY(QueryManager) = 0;
+  SimTime last_arrival_ ALGAS_OWNED_BY(QueryManager) = 0.0;
 };
 
 }  // namespace algas::core

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ownership.hpp"
 #include "core/slot.hpp"
 #include "simgpu/channel.hpp"
 
@@ -101,9 +102,12 @@ class StateSync {
   std::size_t slots_;
   std::size_t ctas_;
   bool mirrored_;
-  std::vector<SlotState> states_;
-  std::uint64_t host_polls_ = 0;
-  std::uint64_t transitions_ = 0;
+  /// The state words themselves: write rights rotate between host and
+  /// device per Fig 9 (state_owner()), mediated by host_write/device_write
+  /// — the epoch is the slot state machine itself.
+  std::vector<SlotState> states_ ALGAS_GUARDED_BY_EPOCH(StateSync);
+  std::uint64_t host_polls_ ALGAS_OWNED_BY(StateSync) = 0;
+  std::uint64_t transitions_ ALGAS_OWNED_BY(StateSync) = 0;
 };
 
 }  // namespace algas::core

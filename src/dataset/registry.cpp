@@ -87,10 +87,13 @@ Dataset load_bench_dataset(const std::string& name) {
   const double scale = dataset_scale();
   const auto num_base = static_cast<std::size_t>(
       std::llround(scale * static_cast<double>(entry.base_at_unit_scale)));
-  auto num_queries = env_size(
-      "ALGAS_QUERIES",
-      static_cast<std::size_t>(std::llround(
-          scale * static_cast<double>(entry.queries_at_unit_scale))));
+  // ALGAS_QUERIES: 0 / unset keeps the scale-derived bench default.
+  const std::size_t queries_knob = RuntimeOptions::from_env().queries;
+  auto num_queries =
+      queries_knob != 0
+          ? queries_knob
+          : static_cast<std::size_t>(std::llround(
+                scale * static_cast<double>(entry.queries_at_unit_scale)));
   num_queries = std::max<std::size_t>(num_queries, 16);
   return load_bench_dataset_sized(name, std::max<std::size_t>(num_base, 1000),
                                   num_queries, kBenchGtK, true);

@@ -67,13 +67,6 @@ struct BuildReport {
   double speedup() const {
     return virtual_build_ns > 0.0 ? serial_build_ns / virtual_build_ns : 0.0;
   }
-
-  /// Compatibility shims for pre-BuildReport call sites
-  /// (`Graph g = build_graph(...)`). New code should read `.graph`.
-  [[deprecated("read .graph from the BuildReport")]]
-  operator Graph() const& { return graph; }
-  [[deprecated("read .graph from the BuildReport")]]
-  operator Graph() && { return std::move(graph); }
 };
 
 /// Build the requested index over `ds`.

@@ -55,12 +55,4 @@ double construction_insert_cost_ns(const BuildConfig& cfg, std::size_t dim,
          cm.distance_round_ns(dim, cfg.degree * cfg.degree / 2);
 }
 
-GpuBuildResult gpu_build_nsw(const Dataset& ds, const GpuBuildConfig& cfg) {
-  BuildConfig flat = cfg.base;
-  flat.insert_batch = cfg.insert_batch;
-  flat.device = cfg.device;
-  flat.cost = cfg.cost;
-  return build_graph(GraphKind::kNsw, ds, flat);
-}
-
 }  // namespace algas

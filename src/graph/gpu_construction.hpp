@@ -1,6 +1,5 @@
 // Virtual-time model of GANNS-style batched graph construction on the
-// simulated GPU [Yu et al., ICDE'22], plus the deprecated pre-BuildReport
-// entry point.
+// simulated GPU [Yu et al., ICDE'22].
 //
 // The paper's indexes are "NSW-GANNS" graphs: GANNS's contribution is
 // constructing them on the GPU by inserting points in large batches — every
@@ -29,25 +28,5 @@ std::size_t construction_capacity(const BuildConfig& cfg, std::size_t dim);
 /// distance work plus the candidate-list maintenance that accompanies it.
 double construction_insert_cost_ns(const BuildConfig& cfg, std::size_t dim,
                                    std::size_t scored);
-
-/// Deprecated: BuildConfig absorbed these knobs (`insert_batch`, `device`,
-/// `cost` live directly on it). Kept so old call sites keep compiling.
-struct GpuBuildConfig {
-  BuildConfig base;
-  /// Insertions dispatched per construction kernel.
-  std::size_t insert_batch = 1024;
-  sim::DeviceProps device = sim::DeviceProps::rtx_a6000();
-  sim::CostModel cost;
-};
-
-/// Deprecated alias: gpu_build_nsw now returns the unified BuildReport
-/// (same fields the old GpuBuildResult carried, plus wall time).
-using GpuBuildResult = BuildReport;
-
-/// Deprecated shim over build_graph(GraphKind::kNsw, ...): flattens the
-/// GpuBuildConfig onto a BuildConfig and forwards.
-[[deprecated("use build_graph(GraphKind::kNsw, ds, cfg) — BuildConfig "
-             "carries insert_batch/device/cost directly")]]
-GpuBuildResult gpu_build_nsw(const Dataset& ds, const GpuBuildConfig& cfg);
 
 }  // namespace algas

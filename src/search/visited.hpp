@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ownership.hpp"
+
 namespace algas::search {
 
 class VisitedTable {
@@ -63,9 +65,13 @@ class VisitedTable {
   }
 
  private:
-  std::vector<Generation> stamps_;
-  Generation generation_ = 1;  // stamp 0 = never visited in any epoch
-  std::uint64_t checks_ = 0;
+  /// Stamp array shared by all CTAs of a slot: validity is relative to
+  /// generation_, so clear() retires a whole epoch in O(1). Epoch
+  /// reclamation is also how tombstone compaction will recycle this table
+  /// under streaming mutability (ROADMAP).
+  std::vector<Generation> stamps_ ALGAS_GUARDED_BY_EPOCH(VisitedTable);
+  Generation generation_ ALGAS_OWNED_BY(VisitedTable) = 1;  // 0 = never
+  std::uint64_t checks_ ALGAS_OWNED_BY(VisitedTable) = 0;
 };
 
 }  // namespace algas::search

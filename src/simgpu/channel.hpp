@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 #include "simgpu/cost_model.hpp"
 
@@ -80,9 +81,13 @@ class Channel {
   Tracer* trace_ = nullptr;
   int trace_pid_ = 0;
   int trace_tid_ = 0;
-  SimTime next_free_ = 0.0;
-  double busy_time_ = 0.0;
-  std::array<XferCounters, static_cast<std::size_t>(Xfer::kCount_)> counters_{};
+  /// Link occupancy cursor and counters: every actor on either side issues
+  /// transactions, but all mutation funnels through transfer()/post() — the
+  /// link serializes by construction, which is the §V-A contention model.
+  SimTime next_free_ ALGAS_OWNED_BY(Channel) = 0.0;
+  double busy_time_ ALGAS_OWNED_BY(Channel) = 0.0;
+  std::array<XferCounters, static_cast<std::size_t>(Xfer::kCount_)>
+      counters_ ALGAS_OWNED_BY(Channel){};
 };
 
 }  // namespace algas::sim

@@ -142,6 +142,8 @@ class SimCheck {
   SimCheckConfig cfg_;
   std::string run_label_;
   std::map<std::string, TraceRing> traces_;
+  // Diagnostics use the deterministic "<name>#<ordinal>" value instead.
+  // lint: pointer-key lookup-only (find/emplace/clear), never iterated
   std::map<const Actor*, std::string> actor_keys_;
   std::map<std::string, std::size_t> name_ordinals_;
   std::function<void(SimTime)> drain_hook_;

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <string>
 
+#include "common/ownership.hpp"
 #include "simgpu/device_props.hpp"
 
 namespace algas::sim {
@@ -18,14 +19,17 @@ namespace algas::sim {
 inline constexpr std::size_t kListEntryBytes = 8;
 
 struct SharedMemoryLayout {
-  std::size_t candidate_entries = 0;  ///< L (power of two)
-  std::size_t expand_entries = 0;     ///< E (power of two)
-  std::size_t dim = 0;                ///< query vector dimension
+  /// A layout is a value: built up locally (tuner, engine setup), then
+  /// handed to the occupancy check / block launch and never edited again —
+  /// the kernel's shared-memory carveout cannot be resized mid-flight.
+  std::size_t candidate_entries ALGAS_IMMUTABLE_AFTER_PUBLISH = 0;  ///< L
+  std::size_t expand_entries ALGAS_IMMUTABLE_AFTER_PUBLISH = 0;     ///< E
+  std::size_t dim ALGAS_IMMUTABLE_AFTER_PUBLISH = 0;  ///< query dimension
   /// Stored bytes per query element (4 = f32, 2 = f16, 1 = int8): the
   /// kernel keeps the query in shared memory at the base rows' width so a
   /// quantized layout shrinks the block's footprint (§IV-C budgets fit
   /// larger fanouts).
-  std::size_t elem_bytes = sizeof(float);
+  std::size_t elem_bytes ALGAS_IMMUTABLE_AFTER_PUBLISH = sizeof(float);
 
   std::size_t candidate_bytes() const { return candidate_entries * kListEntryBytes; }
   std::size_t expand_bytes() const { return expand_entries * kListEntryBytes; }

@@ -17,6 +17,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 
 namespace algas::sim {
@@ -38,8 +39,10 @@ class Actor {
 
  private:
   friend class Simulation;
-  std::uint64_t token_ = 0;      // invalidates superseded queue entries
-  SimTime pending_time_ = -1.0;  // < 0 means no pending event
+  /// Queue bookkeeping lives in the actor but belongs to the scheduler:
+  /// only Simulation (schedule/cancel/pop) may touch these.
+  std::uint64_t token_ ALGAS_OWNED_BY(Simulation) = 0;
+  SimTime pending_time_ ALGAS_OWNED_BY(Simulation) = -1.0;  // < 0 = none
 };
 
 class Simulation {

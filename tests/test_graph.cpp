@@ -315,43 +315,10 @@ TEST(ByteIdentity, CosineMetricAndScoredCounts) {
   EXPECT_DOUBLE_EQ(parallel.virtual_build_ns, serial.virtual_build_ns);
 }
 
-// ---------------- deprecated shims ----------------
-
-// The old entry points must keep compiling until the next major cleanup;
-// silence the intentional deprecation warnings locally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedShims, GpuBuildNswStillWorks) {
-  const auto& world = testing::tiny_world();
-  GpuBuildConfig cfg;
-  cfg.base.degree = 16;
-  cfg.base.ef_construction = 48;
-  cfg.insert_batch = 384;
-  const GpuBuildResult result = gpu_build_nsw(world.ds, cfg);
-
-  // The shim must produce exactly what the unified API produces.
-  BuildConfig flat;
-  flat.degree = 16;
-  flat.ef_construction = 48;
-  flat.insert_batch = 384;
-  const BuildReport direct = build_graph(GraphKind::kNsw, world.ds, flat);
-  EXPECT_EQ(result.graph.adjacency(), direct.graph.adjacency());
-  EXPECT_EQ(result.batches, direct.batches);
-}
-
-TEST(DeprecatedShims, BuildReportConvertsToGraph) {
-  Dataset ds("one", 4, Metric::kL2);
-  ds.mutable_base() = {0.0f, 0.0f, 0.0f, 0.0f,
-                       1.0f, 0.0f, 0.0f, 0.0f};
-  BuildConfig cfg;
-  cfg.degree = 2;
-  // Old call shape: assigning the build result straight to a Graph.
-  const Graph g = build_graph(GraphKind::kNsw, ds, cfg);
-  EXPECT_EQ(g.num_nodes(), 2u);
-}
-
-#pragma GCC diagnostic pop
+// The pre-BuildReport shims (gpu_build_nsw, BuildReport->Graph conversion)
+// were removed: build_graph(GraphKind::kNsw, ds, cfg) is the one entry
+// point, and call sites read `.graph` explicitly. -Wdeprecated-declarations
+// is always on, so a reintroduced shim with in-tree users cannot merge.
 
 TEST(Builders, GraphKindNames) {
   EXPECT_EQ(graph_kind_name(GraphKind::kNsw), "NSW");

@@ -1,0 +1,64 @@
+// expect-lint: none
+// Clean fixture: every guarded construct used the sanctioned way — owner
+// writes, local construction before publish, justified sorted iteration.
+// Also pins down classified near-miss shapes that must NOT trip: substring
+// field names, multi-declarator locals, and wrapped owner lists.
+#define ALGAS_OWNED_BY(...)
+#define ALGAS_GUARDED_BY_EPOCH(...)
+#define ALGAS_IMMUTABLE_AFTER_PUBLISH
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+struct Layout {
+  unsigned long entries ALGAS_IMMUTABLE_AFTER_PUBLISH = 0;
+};
+
+Layout make_layout() {
+  Layout layout;
+  layout.entries = 8;  // still a local value: construction, not mutation
+  return layout;
+}
+
+struct SlotRuntime {
+  bool finished ALGAS_OWNED_BY(CtaActor) = false;
+};
+
+struct CtaActor {
+  SlotRuntime* rt_ = nullptr;
+  void flag_finish() { rt_->finished = true; }  // the declared owner
+};
+
+std::vector<int> sorted_keys(const std::unordered_map<int, int>& m) {
+  std::vector<int> keys;
+  keys.reserve(m.size());
+  // lint: ordered keys are sorted below; hash order cannot reach callers
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Owner list wrapped across lines (clang-format does this): both listed
+// actors must parse as owners.
+struct Shared {
+  unsigned long steps ALGAS_GUARDED_BY_EPOCH(CtaActor,
+                                             HostWorker) = 0;
+};
+
+struct HostWorker {
+  Shared* sh_ = nullptr;
+  void harvest() { sh_->steps = 0; }  // second owner on the wrapped line
+};
+
+// `entries`/`steps` are annotated above; identifiers that merely CONTAIN
+// those names are different variables and must not match.
+unsigned long near_miss_names(const Layout& layout) {
+  unsigned long candidate_entries = layout.entries * 2;
+  candidate_entries += 1;
+  unsigned long host_worker_steps = 0, total_steps = 0, entries = 3;
+  host_worker_steps = candidate_entries;   // substring, not the field
+  total_steps += host_worker_steps;
+  entries = total_steps;  // bare write to a same-named LOCAL, not the field
+  return entries;
+}

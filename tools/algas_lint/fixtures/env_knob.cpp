@@ -1,0 +1,11 @@
+// expect-lint: env-knob
+// Seeded violation: an ALGAS_* knob read at a call site through the env
+// helpers, bypassing the one collection point RuntimeOptions::from_env()
+// and its CLI > env > default precedence contract.
+#include <string>
+
+namespace algas {
+std::string env_string(const char* name, const std::string& fallback);
+}
+
+std::string trace_path() { return algas::env_string("ALGAS_TRACE", ""); }

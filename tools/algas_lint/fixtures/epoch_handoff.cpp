@@ -1,0 +1,14 @@
+// expect-lint: ownership
+// Seeded violation: `steps` hands off between the CTA (during Work) and
+// the host worker (outside it); a third actor writing it breaks the
+// epoch hand-off that ALGAS_GUARDED_BY_EPOCH declares.
+#define ALGAS_GUARDED_BY_EPOCH(...)
+
+struct SlotRuntime {
+  unsigned long steps ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0;
+};
+
+struct Telemetry {
+  SlotRuntime* rt_ = nullptr;
+  void tamper() { rt_->steps += 1; }
+};

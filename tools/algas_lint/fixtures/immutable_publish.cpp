@@ -1,0 +1,14 @@
+// expect-lint: ownership
+// Seeded violation: a published value struct mutated after it was stored
+// into the engine. ALGAS_IMMUTABLE_AFTER_PUBLISH fields may only be
+// written while the object is still a function-local value.
+#define ALGAS_IMMUTABLE_AFTER_PUBLISH
+
+struct Layout {
+  unsigned long candidate_entries ALGAS_IMMUTABLE_AFTER_PUBLISH = 0;
+};
+
+struct Engine {
+  Layout layout_;
+  void grow() { layout_.candidate_entries *= 2; }
+};

@@ -1,0 +1,10 @@
+// expect-lint: ownership
+// Seeded violation: `finished` is owned by the device-side CtaActor
+// (Fig 9 single-writer matrix), but a free function writes it.
+#define ALGAS_OWNED_BY(...)
+
+struct SlotRuntime {
+  bool finished ALGAS_OWNED_BY(CtaActor) = false;
+};
+
+void poke(SlotRuntime& rt) { rt.finished = true; }

@@ -1,0 +1,9 @@
+// expect-lint: pointer-key
+// Seeded violation: a container ordered by pointer value. Iteration order
+// follows allocation addresses, which differ run to run.
+#include <map>
+#include <string>
+
+class Actor;
+
+std::map<const Actor*, std::string> actor_names;

@@ -1,0 +1,10 @@
+// expect-lint: raw-getenv
+// Seeded violation: raw std::getenv outside common/env.cpp. Knob reads
+// must go through RuntimeOptions::from_env().
+#include <cstdlib>
+#include <string>
+
+std::string cache_dir_raw() {
+  const char* raw = std::getenv("HOME");
+  return raw != nullptr ? std::string(raw) : std::string();
+}

@@ -1,0 +1,9 @@
+// expect-lint: raw-rng
+// Seeded violation: entropy from std::random_device instead of the seeded
+// xoshiro Rng in common/rng.hpp — runs would differ machine to machine.
+#include <random>
+
+int pick_entry_point(int num_nodes) {
+  std::random_device rd;
+  return static_cast<int>(rd() % static_cast<unsigned>(num_nodes));
+}

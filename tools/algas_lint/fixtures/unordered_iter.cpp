@@ -1,0 +1,15 @@
+// expect-lint: unordered-iter
+// Seeded violation: hash-order iteration feeding an accumulated result
+// without an adjacent ordered-iteration justification. (Addition over
+// doubles is not associative — hash order leaks into the sum.)
+#include <cstddef>
+#include <unordered_map>
+
+double sum_weights() {
+  std::unordered_map<int, double> weight_of;
+  weight_of[3] = 0.25;
+  weight_of[7] = 0.5;
+  double total = 0.0;
+  for (const auto& [node, weight] : weight_of) total += weight;
+  return total;
+}

@@ -1,0 +1,9 @@
+// expect-lint: wall-clock
+// Seeded violation: a host clock read outside the wall-clock allowlist.
+// Timestamps in results must come from Simulation virtual time.
+#include <chrono>
+
+double stamp_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -102,8 +102,7 @@ int main() {
                 r.mean_latency_us, r.smem_per_block, r.pcie_bytes);
   }
 
-  const std::string out_path =
-      env_string("ALGAS_RECALL_OUT", "BENCH_recall.json");
+  const std::string out_path = RuntimeOptions::from_env().recall_out;
   std::ofstream out(out_path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot write " + out_path);
   out.setf(std::ios::fixed);
