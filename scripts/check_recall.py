@@ -1,21 +1,26 @@
 #!/usr/bin/env python3
-"""Recall/precision regression gate for quantized base-vector storage.
+"""Recall regression gate shared by the storage-codec and churn benches.
 
-Compares a freshly measured BENCH_recall.json (from tools/recall_gate)
-against the committed baseline (bench/recall_baseline.json by default):
+Compares a freshly measured JSON (tools/recall_gate's BENCH_recall.json or
+bench_churn's BENCH_churn.json) against a committed baseline. Both files
+carry a map of named measurement entries — "codecs" (f32/f16/int8) or
+"variants" (rebuild/churned) — each with a "recall_at_10" value.
 
-  f32   must match the baseline recall EXACTLY — the f32 codec path is
-        bitwise-identical to the seed kernels, so any drift means the
-        deterministic scoring chain changed and every pinned number in
-        the repo is suspect.
-  f16   measured recall may drop at most --f16-eps  (default 0.001)
-        below the *measured* f32 recall of the same run.
-  int8  measured recall may drop at most --int8-eps (default 0.01)
-        below the measured f32 recall.
+Two kinds of check:
 
-Quantized codecs gate against the same-run f32 recall (not the baseline)
-so the gate isolates codec loss from dataset/config drift — config drift
-is caught separately by the exact-match check on the config keys.
+  exact   the --exact entry (default f32; the churn gate passes
+          --exact rebuild) must match the baseline recall EXACTLY. These
+          entries come from the deterministic build+search chain, so any
+          drift means the pinned numbers across the repo are suspect.
+  eps     every --eps KEY=VAL entry may drop at most VAL below the
+          *measured* exact entry of the same run. Gating against the
+          same-run reference isolates the entry's own loss (quantization
+          error, churn-vs-rebuild gap) from dataset/config drift — config
+          drift is caught separately by the exact-match config keys.
+
+With no --eps flags and a "codecs" file, the legacy defaults apply:
+f16=0.001 (--f16-eps) and int8=0.01 (--int8-eps), so the existing
+recall-gate CI invocation runs unchanged.
 """
 import argparse
 import json
@@ -24,15 +29,28 @@ import sys
 CONFIG_KEYS = ("dataset", "n_base", "dim", "queries", "topk", "candidate_len")
 
 
+def entries_of(doc):
+    for key in ("codecs", "variants"):
+        if key in doc:
+            return doc[key]
+    raise KeyError("no 'codecs' or 'variants' map in JSON")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("measured", help="freshly produced BENCH_recall.json")
+    ap.add_argument("measured", help="freshly produced measurement JSON")
     ap.add_argument("baseline", nargs="?",
                     default="bench/recall_baseline.json")
+    ap.add_argument("--exact", default="f32", metavar="KEY",
+                    help="entry requiring an exact baseline match "
+                         "(default f32; churn gate uses rebuild)")
+    ap.add_argument("--eps", action="append", default=[], metavar="KEY=VAL",
+                    help="entry KEY may drop at most VAL below the measured "
+                         "--exact entry; repeatable")
     ap.add_argument("--f16-eps", type=float, default=0.001,
-                    help="max recall@10 drop for f16 vs f32 (default 0.001)")
+                    help="legacy codec default when no --eps given")
     ap.add_argument("--int8-eps", type=float, default=0.01,
-                    help="max recall@10 drop for int8 vs f32 (default 0.01)")
+                    help="legacy codec default when no --eps given")
     args = ap.parse_args()
 
     with open(args.measured) as f:
@@ -55,39 +73,60 @@ def main() -> int:
         return 2
 
     try:
-        recalls = {c: float(measured["codecs"][c]["recall_at_10"])
-                   for c in ("f32", "f16", "int8")}
-        base_f32 = float(baseline["codecs"]["f32"]["recall_at_10"])
+        m_entries = entries_of(measured)
+        b_entries = entries_of(baseline)
     except KeyError as e:
-        print(f"check_recall: missing codec entry {e}", file=sys.stderr)
+        print(f"check_recall: {e}", file=sys.stderr)
         return 2
 
-    # f32: exact. The f32 path never quantizes, so recall is a pure function
-    # of the deterministic simulation — drift means broken determinism.
-    verdict = "OK" if recalls["f32"] == base_f32 else "DRIFT"
-    print(f"f32:  recall@10 {recalls['f32']:.6f} vs baseline {base_f32:.6f} "
-          f"(exact match required) {verdict}")
-    if recalls["f32"] != base_f32:
-        failures.append(
-            f"f32 recall drifted: {recalls['f32']:.10f} != baseline "
-            f"{base_f32:.10f} — the deterministic f32 scoring path changed")
+    eps_map = {}
+    for spec in args.eps:
+        key, _, val = spec.partition("=")
+        if not val:
+            print(f"check_recall: bad --eps '{spec}' (want KEY=VAL)",
+                  file=sys.stderr)
+            return 2
+        eps_map[key] = float(val)
+    if not eps_map and "codecs" in measured:
+        eps_map = {"f16": args.f16_eps, "int8": args.int8_eps}
 
-    for codec, eps in (("f16", args.f16_eps), ("int8", args.int8_eps)):
-        drop = recalls["f32"] - recalls[codec]
+    try:
+        exact = float(m_entries[args.exact]["recall_at_10"])
+        base_exact = float(b_entries[args.exact]["recall_at_10"])
+        eps_recalls = {k: float(m_entries[k]["recall_at_10"])
+                       for k in eps_map}
+    except KeyError as e:
+        print(f"check_recall: missing entry {e}", file=sys.stderr)
+        return 2
+
+    # Exact entry: pure function of the deterministic simulation — drift
+    # means broken determinism.
+    verdict = "OK" if exact == base_exact else "DRIFT"
+    print(f"{args.exact}: recall@10 {exact:.6f} vs baseline "
+          f"{base_exact:.6f} (exact match required) {verdict}")
+    if exact != base_exact:
+        failures.append(
+            f"{args.exact} recall drifted: {exact:.10f} != baseline "
+            f"{base_exact:.10f} — the deterministic build/search chain "
+            f"changed")
+
+    for key in sorted(eps_map):
+        eps = eps_map[key]
+        drop = exact - eps_recalls[key]
         verdict = "OK" if drop <= eps else "REGRESSION"
-        print(f"{codec}: recall@10 {recalls[codec]:.6f} "
-              f"(drop {drop:+.6f} vs f32, eps {eps}) {verdict}")
+        print(f"{key}: recall@10 {eps_recalls[key]:.6f} "
+              f"(drop {drop:+.6f} vs {args.exact}, eps {eps}) {verdict}")
         if drop > eps:
             failures.append(
-                f"{codec} recall dropped {drop:.6f} below f32 "
-                f"(allowed {eps}) — quantization error grew")
+                f"{key} recall dropped {drop:.6f} below {args.exact} "
+                f"(allowed {eps})")
 
     if failures:
         print("\ncheck_recall: FAILED", file=sys.stderr)
         for f_ in failures:
             print(f"  {f_}", file=sys.stderr)
         return 1
-    print("check_recall: all codec recall gates passed")
+    print("check_recall: all recall gates passed")
     return 0
 
 

@@ -12,6 +12,7 @@
 #include "baselines/ivf.hpp"            // IVF-Flat baseline
 #include "baselines/static_engine.hpp"  // CAGRA-style baseline
 #include "core/engine.hpp"              // AlgasEngine
+#include "core/mutable_index.hpp"       // streaming insert/delete/compact
 #include "core/tuner.hpp"               // adaptive tuning (SIV-C)
 #include "common/env.hpp"               // RuntimeOptions / ALGAS_* knobs
 #include "dataset/dataset.hpp"

@@ -46,6 +46,7 @@ RuntimeOptions RuntimeOptions::from_env() {
   opts.build_threads = env_size("ALGAS_BUILD_THREADS", 0);
   opts.walltime_out = env_string("ALGAS_WALLTIME_OUT", "BENCH_walltime.json");
   opts.recall_out = env_string("ALGAS_RECALL_OUT", "BENCH_recall.json");
+  opts.churn_out = env_string("ALGAS_CHURN_OUT", "BENCH_churn.json");
   return opts;
 }
 

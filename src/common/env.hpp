@@ -30,6 +30,8 @@
 //                         "BENCH_walltime.json").
 //   ALGAS_RECALL_OUT    — recall_gate JSON output path (default
 //                         "BENCH_recall.json").
+//   ALGAS_CHURN_OUT     — bench_churn JSON output path (default
+//                         "BENCH_churn.json").
 #pragma once
 
 #include <cstddef>
@@ -60,6 +62,7 @@ struct RuntimeOptions {
   std::size_t build_threads = 0;     ///< ALGAS_BUILD_THREADS, 0 = hardware
   std::string walltime_out;          ///< ALGAS_WALLTIME_OUT JSON path
   std::string recall_out;            ///< ALGAS_RECALL_OUT JSON path
+  std::string churn_out;             ///< ALGAS_CHURN_OUT JSON path
 
   static RuntimeOptions from_env();
 };

@@ -314,9 +314,11 @@ void HostWorker::fetch_and_complete(sim::Simulation& sim, std::size_t slot,
       rt.result_buffer.size() * sim::kListEntryBytes, sim::Xfer::kResult);
   // Merge & filter on the host (§IV-B step 4).
   *elapsed += cm.host_topk_merge_ns(run_.plan.n_parallel, run_.cfg.search.topk);
-  auto topk = search::merge_sorted_runs(rt.result_buffer,
-                                        run_.plan.n_parallel, run_.run_len,
-                                        run_.cfg.search.topk);
+  // Streaming deletes are consulted here, at the accept step: tombstoned
+  // ids routed the traversal but never surface in the merged TopK.
+  auto topk = search::merge_sorted_runs(
+      rt.result_buffer, run_.plan.n_parallel, run_.run_len,
+      run_.cfg.search.topk, run_.cfg.search.tombstones);
 
   metrics::QueryRecord rec;
   rec.query_index = rt.query_index;
@@ -465,6 +467,12 @@ void HostWorker::step(sim::Simulation& sim) {
 
 AlgasEngine::AlgasEngine(const Dataset& ds, const Graph& g, AlgasConfig cfg)
     : ds_(ds), g_(g), cfg_(std::move(cfg)) {
+  if (g.num_nodes() == 0) {
+    // A slot must seed every CTA with an entry point; an empty graph has
+    // none (entry_point() == kInvalidNode). Callers with an empty serving
+    // view (core::MutableIndex before the first publish) skip the engine.
+    throw std::invalid_argument("AlgasEngine: graph has no nodes to search");
+  }
   cfg_.search = search::normalize_config(cfg_.search, g.degree());
   cfg_.host_threads = std::max<std::size_t>(1, cfg_.host_threads);
 

@@ -1,0 +1,413 @@
+#include "core/mutable_index.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "graph/gpu_construction.hpp"
+#include "graph/neighbor_selection.hpp"
+
+namespace algas::core {
+
+void MutationChecker::reader_enter(const char* section) {
+  readers_.fetch_add(1, std::memory_order_acq_rel);
+  if (writers_.load(std::memory_order_acquire) != 0) {
+    readers_.fetch_sub(1, std::memory_order_acq_rel);
+    throw std::logic_error(std::string("MutationChecker: reader section '") +
+                           section +
+                           "' admitted while a writer holds the index");
+  }
+}
+
+void MutationChecker::reader_exit() {
+  readers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void MutationChecker::writer_enter(const char* section) {
+  if (writers_.fetch_add(1, std::memory_order_acq_rel) != 0) {
+    writers_.fetch_sub(1, std::memory_order_acq_rel);
+    throw std::logic_error(std::string("MutationChecker: writer section '") +
+                           section + "' overlaps another writer");
+  }
+  if (readers_.load(std::memory_order_acquire) != 0) {
+    writers_.fetch_sub(1, std::memory_order_acq_rel);
+    throw std::logic_error(std::string("MutationChecker: writer section '") +
+                           section + "' admitted while readers are active");
+  }
+}
+
+void MutationChecker::writer_exit() {
+  writers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+MutableIndex::MutableIndex(Dataset ds, Graph g, BuildConfig cfg)
+    : ds_(std::move(ds)), graph_(std::move(g)), cfg_(std::move(cfg)) {
+  if (graph_.num_nodes() != ds_.num_base()) {
+    throw std::invalid_argument(
+        "MutableIndex: graph covers " + std::to_string(graph_.num_nodes()) +
+        " nodes but the dataset has " + std::to_string(ds_.num_base()) +
+        " rows");
+  }
+  cfg_.degree = graph_.degree();
+  published_ = graph_.num_nodes();
+  tombstones_.resize(published_);
+  // Admit readers immediately: no lazy cache may be left for a concurrent
+  // first use.
+  ds_.warm_caches();
+}
+
+Dataset MutableIndex::require_empty(Dataset ds) {
+  if (ds.num_base() != 0) {
+    throw std::invalid_argument(
+        "MutableIndex: the empty-start constructor needs a dataset with no "
+        "base rows; adopt a built graph instead");
+  }
+  return ds;
+}
+
+MutableIndex::MutableIndex(Dataset ds, BuildConfig cfg)
+    : MutableIndex(require_empty(std::move(ds)), Graph(0, cfg.degree), cfg) {}
+
+std::size_t MutableIndex::stage(std::span<const float> rows) {
+  WriteSection sec(checker_, "stage");
+  // append_base is the epoch hand-off: ground truth drops, the norm table
+  // extends in place, the encoded store re-encodes — all while this writer
+  // section holds the index exclusively.
+  ds_.append_base(rows);
+  ds_.warm_caches();
+  return rows.size() / ds_.dim();
+}
+
+StagedBatch MutableIndex::prepare_next(std::size_t max_rows) {
+  ReadSection sec(checker_, "prepare");
+  StagedBatch b;
+  b.first = published_;
+  const std::size_t want =
+      max_rows == 0 ? std::max<std::size_t>(1, cfg_.insert_batch) : max_rows;
+  b.count = std::min(want, pending());
+  b.found.assign(b.count, {});
+  b.scored.assign(b.count, 0);
+  b.prepared = true;
+  if (b.count == 0) return b;
+
+  // Identical phase-1 schedule to build_nsw: when every row is staged up
+  // front, ef and the batch boundaries match the offline build exactly,
+  // which is what makes stream-from-empty byte-identical to it.
+  const std::size_t n = ds_.num_base();
+  const std::size_t m = std::min(cfg_.degree, n - 1);
+  const std::size_t ef = std::max(cfg_.ef_construction, m);
+  const std::size_t begin = b.first;
+  BuildExecutor exec(cfg_.threads);
+  if (begin == 0) {
+    // Bootstrap batch: no prefix graph exists; points score each other
+    // exhaustively, exactly like the offline builder's first batch.
+    if (b.count > 1) {
+      exec.parallel_for(b.count - 1, [&](std::size_t lo, std::size_t hi) {
+        std::vector<float> tile;
+        for (std::size_t v = lo + 1; v < hi + 1; ++v) {
+          auto& list = b.found[v];
+          tile.resize(v);
+          ds_.distance_batch_range(ds_.base_vector(v), 0, v, tile);
+          list.reserve(v);
+          for (std::size_t u = 0; u < v; ++u) {
+            list.emplace_back(tile[u], static_cast<NodeId>(u));
+          }
+          std::sort(list.begin(), list.end());
+          if (list.size() > cfg_.ef_construction) {
+            list.resize(cfg_.ef_construction);
+          }
+          b.scored[v] = v;
+        }
+      });
+    }
+  } else {
+    exec.parallel_for(b.count, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t v = begin + i;
+        b.found[i] = build_beam_search(ds_, graph_, ds_.base_vector(v), ef, 0,
+                                       begin, &b.scored[i]);
+      }
+    });
+  }
+  return b;
+}
+
+InsertReport MutableIndex::apply(StagedBatch& batch) {
+  WriteSection sec(checker_, "apply");
+  if (!batch.prepared) {
+    throw std::logic_error("MutableIndex::apply: batch was not prepared");
+  }
+  if (batch.first != published_) {
+    throw std::logic_error(
+        "MutableIndex::apply: batches must apply in stage order (batch "
+        "starts at row " +
+        std::to_string(batch.first) + ", published is " +
+        std::to_string(published_) + ")");
+  }
+  if (batch.first + batch.count > ds_.num_base()) {
+    throw std::logic_error(
+        "MutableIndex::apply: batch extends past the staged rows");
+  }
+  InsertReport rep = link_batch(batch);
+  batch.prepared = false;  // consumed
+  return rep;
+}
+
+InsertReport MutableIndex::link_batch(const StagedBatch& batch) {
+  InsertReport rep;
+  rep.inserted = batch.count;
+  if (batch.count == 0) return rep;
+  const std::size_t begin = batch.first;
+  const std::size_t end = batch.first + batch.count;
+  graph_.grow(batch.count);
+  tombstones_.resize(graph_.num_nodes());
+
+  // Serial accounting in insertion-id order, as in the offline builder.
+  std::vector<double> durations;
+  durations.reserve(batch.count);
+  for (std::size_t i = (begin == 0 ? 1 : 0); i < batch.count; ++i) {
+    rep.scored_points += batch.scored[i];
+    durations.push_back(
+        construction_insert_cost_ns(cfg_, ds_.dim(), batch.scored[i]));
+  }
+
+  // Phase 2 — links applied serially in insertion-id order: the published
+  // graph is a deterministic fold over the batch, independent of the
+  // thread count phase 1 ran at and of any queries served in between.
+  std::vector<NodeId> row_ids;
+  std::vector<float> row_dists;
+  std::vector<std::pair<float, NodeId>> candidates;
+  for (std::size_t v = std::max<std::size_t>(begin, 1); v < end; ++v) {
+    candidates = batch.found[v - begin];
+    if (candidates.empty()) continue;
+    select_neighbors(ds_, graph_, static_cast<NodeId>(v), candidates);
+    row_ids.clear();
+    for (NodeId u : graph_.neighbors(static_cast<NodeId>(v))) {
+      if (u != kInvalidNode) row_ids.push_back(u);
+    }
+    row_dists.resize(row_ids.size());
+    ds_.distance_batch(ds_.base_vector(v), row_ids, row_dists);
+    for (std::size_t i = 0; i < row_ids.size(); ++i) {
+      link(ds_, graph_, row_ids[i], static_cast<NodeId>(v), row_dists[i]);
+    }
+  }
+
+  const std::size_t capacity = construction_capacity(cfg_, ds_.dim());
+  rep.virtual_build_ns = cfg_.cost.kernel_launch_ns +
+                         construction_wave_makespan(durations, capacity);
+  for (double d : durations) rep.serial_build_ns += d;
+  rep.serial_build_ns += cfg_.cost.kernel_launch_ns;
+  rep.batches = 1;
+
+  // Publish: the entry point recomputes over the published prefix only —
+  // staged-but-unlinked rows must never become the entry.
+  published_ = graph_.num_nodes();
+  BuildExecutor exec(cfg_.threads);
+  graph_.set_entry_point(approximate_medoid(ds_, exec, published_));
+  ++epoch_;
+  return rep;
+}
+
+InsertReport MutableIndex::insert(std::span<const float> rows) {
+  InsertReport total;
+  stage(rows);
+  while (pending() > 0) {
+    StagedBatch b = prepare_next();
+    total += apply(b);
+  }
+  return total;
+}
+
+bool MutableIndex::remove(NodeId v) {
+  WriteSection sec(checker_, "remove");
+  if (static_cast<std::size_t>(v) >= published_) {
+    throw std::out_of_range("MutableIndex::remove: node " +
+                            std::to_string(v) + " is not published (" +
+                            std::to_string(published_) + " nodes)");
+  }
+  return tombstones_.mark(v);
+}
+
+CompactReport MutableIndex::compact() {
+  WriteSection sec(checker_, "compact");
+  if (pending() != 0) {
+    throw std::logic_error(
+        "MutableIndex::compact: apply staged batches before compacting");
+  }
+  CompactReport rep;
+  rep.dropped = tombstones_.count();
+  rep.survivors = published_ - rep.dropped;
+  if (rep.dropped == 0) return rep;
+
+  const std::size_t n = published_;
+  const std::size_t dim = ds_.dim();
+  std::vector<NodeId> remap(n, kInvalidNode);
+  NodeId next = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!tombstones_.contains(static_cast<NodeId>(v))) {
+      remap[v] = next++;
+    }
+  }
+  const std::size_t live_n = next;
+
+  Dataset nds(ds_.name(), dim, ds_.metric());
+  {
+    auto& base = nds.mutable_base();
+    base.reserve(live_n * dim);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (remap[v] == kInvalidNode) continue;
+      const auto row = ds_.base_vector(v);
+      base.insert(base.end(), row.begin(), row.end());
+    }
+    nds.mutable_queries() = ds_.queries();
+  }
+  nds.set_storage(ds_.storage());
+  nds.warm_caches();
+
+  // Remap rows in new-id order. A row that kept all its neighbors copies
+  // over verbatim (compacted padding at the tail); a row that lost dead
+  // edges re-selects over its live neighbors plus the dead neighbors' live
+  // neighbors — the 2-hop patch that keeps routes through reclaimed nodes
+  // navigable. All serial, so the compacted graph is deterministic.
+  Graph ng(live_n, graph_.degree());
+  std::vector<NodeId> ids;
+  std::vector<float> dists;
+  std::vector<std::pair<float, NodeId>> candidates;
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId nv = remap[v];
+    if (nv == kInvalidNode) continue;
+    ids.clear();
+    bool lost = false;
+    for (NodeId u : graph_.neighbors(static_cast<NodeId>(v))) {
+      if (u == kInvalidNode) continue;
+      if (remap[u] != kInvalidNode) {
+        ids.push_back(remap[u]);
+        continue;
+      }
+      lost = true;
+      for (NodeId w : graph_.neighbors(u)) {
+        if (w == kInvalidNode || w == static_cast<NodeId>(v)) continue;
+        if (remap[w] != kInvalidNode) ids.push_back(remap[w]);
+      }
+    }
+    if (!lost) {
+      auto row = ng.mutable_neighbors(nv);
+      for (std::size_t i = 0; i < ids.size(); ++i) row[i] = ids[i];
+      continue;
+    }
+    ++rep.patched;
+    if (ids.empty()) continue;
+    dists.resize(ids.size());
+    nds.distance_batch(nds.base_vector(nv), ids, dists);
+    candidates.clear();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      candidates.emplace_back(dists[i], ids[i]);
+    }
+    select_neighbors(nds, ng, nv, candidates);
+  }
+
+  if (live_n > 0) {
+    BuildExecutor exec(cfg_.threads);
+    ng.set_entry_point(approximate_medoid(nds, exec));
+  }
+
+  // Reclamation recycles the VisitedTable trick: the generation bump
+  // retires every tombstone in O(1); the resize then re-bases the set on
+  // the compacted id space.
+  tombstones_.clear();
+  tombstones_.resize(live_n);
+  ds_ = std::move(nds);
+  graph_ = std::move(ng);
+  published_ = live_n;
+  ++epoch_;
+  return rep;
+}
+
+EngineReport MutableIndex::serve(AlgasConfig cfg,
+                                 std::size_t num_queries) const {
+  ReadSection sec(checker_, "serve");
+  if (published_ == 0) return EngineReport{};
+  cfg.search.tombstones = &tombstones_;
+  AlgasEngine engine(ds_, graph_, cfg);
+  return engine.run_closed_loop(num_queries);
+}
+
+namespace {
+constexpr char kMxMagic[8] = {'A', 'L', 'G', 'A', 'S', 'M', 'X', '1'};
+}
+
+void MutableIndex::save(const std::string& path) const {
+  ReadSection sec(checker_, "save");
+  if (pending() != 0) {
+    throw std::logic_error(
+        "MutableIndex::save: apply staged batches before snapshotting");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for write");
+  out.write(kMxMagic, sizeof(kMxMagic));
+  const std::uint64_t epoch = epoch_;
+  out.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+  graph_.save(out, path);
+  const std::vector<NodeId> ids = tombstones_.ids();
+  const std::uint64_t count = ids.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(ids.data()),
+            static_cast<std::streamsize>(ids.size() * sizeof(NodeId)));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+MutableIndex MutableIndex::load(const std::string& path, Dataset ds,
+                                BuildConfig cfg) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  char magic[8];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMxMagic, sizeof(kMxMagic)) != 0) {
+    throw std::runtime_error("not an ALGAS mutable-index snapshot: " + path);
+  }
+  std::uint64_t epoch = 0;
+  if (!in.read(reinterpret_cast<char*>(&epoch), sizeof(epoch))) {
+    throw std::runtime_error("truncated snapshot header in " + path);
+  }
+  Graph g = Graph::load(in, path);
+  std::uint64_t count = 0;
+  if (!in.read(reinterpret_cast<char*>(&count), sizeof(count))) {
+    throw std::runtime_error("truncated tombstone section in " + path);
+  }
+  if (count > g.num_nodes()) {
+    throw std::runtime_error("corrupt tombstone section in " + path + ": " +
+                             std::to_string(count) + " tombstones for " +
+                             std::to_string(g.num_nodes()) + " nodes");
+  }
+  std::vector<NodeId> ids(static_cast<std::size_t>(count));
+  if (count > 0 &&
+      !in.read(reinterpret_cast<char*>(ids.data()),
+               static_cast<std::streamsize>(ids.size() * sizeof(NodeId)))) {
+    throw std::runtime_error("truncated tombstone section in " + path);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const bool ordered = i == 0 || ids[i - 1] < ids[i];
+    if (!ordered || static_cast<std::size_t>(ids[i]) >= g.num_nodes()) {
+      throw std::runtime_error("corrupt tombstone section in " + path +
+                               ": ids must be ascending node ids");
+    }
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw std::runtime_error("trailing bytes after snapshot payload in " +
+                             path);
+  }
+  if (ds.num_base() != g.num_nodes()) {
+    throw std::invalid_argument(
+        "MutableIndex::load: snapshot covers " +
+        std::to_string(g.num_nodes()) + " nodes but the dataset has " +
+        std::to_string(ds.num_base()) + " rows");
+  }
+  MutableIndex idx(std::move(ds), std::move(g), std::move(cfg));
+  for (NodeId id : ids) idx.tombstones_.mark(id);
+  idx.epoch_ = epoch;
+  return idx;
+}
+
+}  // namespace algas::core

@@ -1,10 +1,38 @@
 #include "dataset/dataset.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "distance/kernels.hpp"
 
 namespace algas {
+
+void Dataset::append_base(std::span<const float> rows) {
+  if (dim_ == 0) {
+    throw std::invalid_argument("append_base: dataset has no dimensionality");
+  }
+  if (rows.size() % dim_ != 0) {
+    throw std::invalid_argument("append_base: data is not whole rows (got " +
+                                std::to_string(rows.size()) +
+                                " floats, dim=" + std::to_string(dim_) + ")");
+  }
+  clear_ground_truth();  // exact only for the pre-append base set
+  const bool had_norms = base_norms_.size() == num_base() && num_base() > 0;
+  base_.insert(base_.end(), rows.begin(), rows.end());
+  if (codec_ != StorageCodec::kF32) {
+    store_.encode(base_.data(), num_base(), dim_, codec_);
+    store_dirty_ = false;
+  }
+  // Extend (or, if never built, fully build) the norm cache while we still
+  // hold exclusive write access, instead of leaving a lazy rebuild for the
+  // first concurrent reader to trip over.
+  if (had_norms || metric_ == Metric::kCosine) base_norms();
+}
+
+void Dataset::warm_caches() const {
+  if (metric_ == Metric::kCosine) base_norms();
+  if (codec_ != StorageCodec::kF32) vector_store();
+}
 
 void Dataset::set_storage(StorageCodec codec) {
   if (codec == codec_ && !store_dirty_) return;
@@ -25,9 +53,15 @@ const VectorStore& Dataset::vector_store() const {
 std::span<const float> Dataset::base_norms() const {
   const std::size_t n = num_base();
   if (base_norms_.size() != n) {
+    // Per-row values, so extending a warm prefix after append_base() is
+    // bit-identical to rebuilding from scratch; a stale oversized cache
+    // (only possible through mutation paths that already clear it) is
+    // rebuilt wholesale.
+    if (base_norms_.size() > n) base_norms_.clear();
+    std::size_t i = base_norms_.size();
     base_norms_.resize(n);
     if (codec_ == StorageCodec::kF32) {
-      for (std::size_t i = 0; i < n; ++i) {
+      for (; i < n; ++i) {
         base_norms_[i] = norm(base_vector(i));
       }
     } else {
@@ -36,7 +70,7 @@ std::span<const float> Dataset::base_norms() const {
       // batched cosine bitwise-identical to table-free scoring.
       const VectorStore& vs = vector_store();
       std::vector<float> row(dim_);
-      for (std::size_t i = 0; i < n; ++i) {
+      for (; i < n; ++i) {
         vs.decode_row(i, row);
         base_norms_[i] = norm(row);
       }

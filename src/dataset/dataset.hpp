@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 #include "dataset/vector_store.hpp"
 #include "distance/distance.hpp"
@@ -42,6 +43,32 @@ class Dataset {
     base_norms_.clear();  // row norms are stale once the caller writes rows
     store_dirty_ = true;  // so are the quantized rows and their scales
     return base_;
+  }
+
+  /// Append whole rows (`rows.size()` must be a multiple of dim) — the
+  /// dataset half of the streaming insert epoch hand-off
+  /// (core::MutableIndex::stage). Unlike mutable_base(), every derived
+  /// cache is reconciled before the call returns, while the caller still
+  /// holds exclusive write access: ground truth is dropped (it was exact
+  /// only for the pre-append base set), the norm cache is extended in
+  /// place with the new rows' norms (per-row values, so extension is
+  /// bit-identical to a full rebuild), and quantized rows re-encode
+  /// immediately. Concurrent readers of the published prefix therefore
+  /// never hit the lazy first-use rebuild that base_norms() documents as
+  /// thread-unsafe.
+  void append_base(std::span<const float> rows);
+
+  /// Build every lazily-initialized cache now (norm table under cosine,
+  /// encoded store under a quantized codec). Publish points — the builders
+  /// before forking parallel scans, the streaming index before admitting
+  /// concurrent readers — call this so first-use initialization never
+  /// races.
+  void warm_caches() const;
+
+  /// Drop ground truth (stale after appends or a compaction remap).
+  void clear_ground_truth() {
+    gt_.clear();
+    gt_k_ = 0;
   }
   std::vector<float>& mutable_queries() { return queries_; }
   const std::vector<float>& base() const { return base_; }
@@ -116,10 +143,14 @@ class Dataset {
   std::size_t gt_k_ = 0;
   StorageCodec codec_ = StorageCodec::kF32;
   /// Lazy norm cache; empty = not built. Only read through base_norms().
-  mutable std::vector<float> base_norms_;
+  /// Write rights rotate with the insert epoch: lazily built inside const
+  /// accessors while single-threaded, extended during the exclusive stage
+  /// section of a streaming append, immutable while readers are admitted.
+  mutable std::vector<float> base_norms_ ALGAS_GUARDED_BY_EPOCH(Dataset);
   /// Encoded rows for the quantized codecs; rebuilt when store_dirty_.
-  mutable VectorStore store_;
-  mutable bool store_dirty_ = false;
+  /// Same epoch discipline as base_norms_.
+  mutable VectorStore store_ ALGAS_GUARDED_BY_EPOCH(Dataset);
+  mutable bool store_dirty_ ALGAS_GUARDED_BY_EPOCH(Dataset) = false;
 };
 
 }  // namespace algas

@@ -95,6 +95,13 @@ std::vector<std::pair<float, NodeId>> build_beam_search(
     std::size_t ef, NodeId entry, std::size_t limit,
     std::size_t* scored_out) {
   using Entry = std::pair<float, NodeId>;
+  // Degenerate frozen prefixes (nothing published yet, or an entry outside
+  // the searchable range) have no reachable candidates.
+  if (limit == 0 || entry == kInvalidNode ||
+      static_cast<std::size_t>(entry) >= limit) {
+    if (scored_out != nullptr) *scored_out = 0;
+    return {};
+  }
   // Min-heap of frontier candidates, max-heap of current best ef results.
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
   std::priority_queue<Entry> best;
@@ -149,7 +156,12 @@ NodeId approximate_medoid(const Dataset& ds) {
 }
 
 NodeId approximate_medoid(const Dataset& ds, BuildExecutor& exec) {
-  const std::size_t n = ds.num_base();
+  return approximate_medoid(ds, exec, ds.num_base());
+}
+
+NodeId approximate_medoid(const Dataset& ds, BuildExecutor& exec,
+                          std::size_t limit) {
+  const std::size_t n = std::min(limit, ds.num_base());
   const std::size_t dim = ds.dim();
   if (n == 0) return 0;
   // The centroid accumulates serially: float addition is order-sensitive,

@@ -98,5 +98,10 @@ std::vector<std::pair<float, NodeId>> build_beam_search(
 /// to the lowest id regardless of chunking).
 NodeId approximate_medoid(const Dataset& ds);
 NodeId approximate_medoid(const Dataset& ds, BuildExecutor& exec);
+/// Medoid of the prefix [0, limit) only — streaming publishes entry points
+/// over the linked prefix while later rows are still staged. limit >=
+/// num_base() scans the whole set (identical to the overloads above).
+NodeId approximate_medoid(const Dataset& ds, BuildExecutor& exec,
+                          std::size_t limit);
 
 }  // namespace algas

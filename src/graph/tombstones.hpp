@@ -1,0 +1,101 @@
+// Tombstone set for streaming deletes — the deletion half of the mutable
+// index (core::MutableIndex).
+//
+// Deletion never touches the adjacency matrix: a deleted node keeps its row
+// and keeps routing traversals (removing it would sever paths through it),
+// but the accept step excludes it from results (search::merge_sorted_runs,
+// IntraCtaSearch::results). Reclamation is compaction's job.
+//
+// The representation recycles the VisitedTable epoch trick: a node is
+// tombstoned when its 16-bit stamp equals the current generation, so
+// compaction retires EVERY tombstone in O(1) by bumping the generation —
+// the same generation-stamped reclamation the visited bitmap uses per
+// query, applied per compaction epoch.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ownership.hpp"
+#include "common/types.hpp"
+
+namespace algas {
+
+class TombstoneSet {
+ public:
+  /// Same stamp width as VisitedTable: 2 bytes/node, and the wraparound
+  /// (full re-stamp once every 65535 compactions) stays testable.
+  using Generation = std::uint16_t;
+
+  TombstoneSet() = default;
+  explicit TombstoneSet(std::size_t num_nodes) : stamps_(num_nodes, 0) {}
+
+  /// Grow preserves live tombstones (appended nodes start untombstoned);
+  /// shrink resets — ids are only ever reduced by a compaction remap, which
+  /// invalidates old marks wholesale.
+  void resize(std::size_t num_nodes) {
+    if (num_nodes > stamps_.size()) {
+      stamps_.resize(num_nodes, 0);
+      return;
+    }
+    stamps_.assign(num_nodes, 0);
+    generation_ = 1;
+    count_ = 0;
+  }
+
+  /// Tombstone node v; returns true if it was live before the call.
+  bool mark(NodeId v) {
+    assert(static_cast<std::size_t>(v) < stamps_.size());
+    if (stamps_[v] == generation_) return false;
+    stamps_[v] = generation_;
+    ++count_;
+    return true;
+  }
+
+  bool contains(NodeId v) const {
+    assert(static_cast<std::size_t>(v) < stamps_.size());
+    return stamps_[v] == generation_;
+  }
+
+  /// O(1) reclamation: start a new compaction epoch, instantly reviving
+  /// every stamp. Only on generation wraparound does the whole array reset.
+  void clear() {
+    count_ = 0;
+    if (++generation_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), Generation{0});
+      generation_ = 1;
+    }
+  }
+
+  std::size_t size() const { return stamps_.size(); }
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  Generation generation() const { return generation_; }
+
+  /// Tombstoned ids in ascending order — the serialization form
+  /// (core::MutableIndex snapshots store ids, not stamps, so the on-disk
+  /// bytes are independent of generation history).
+  std::vector<NodeId> ids() const {
+    std::vector<NodeId> out;
+    out.reserve(count_);
+    for (std::size_t v = 0; v < stamps_.size(); ++v) {
+      if (stamps_[v] == generation_) out.push_back(static_cast<NodeId>(v));
+    }
+    return out;
+  }
+
+ private:
+  /// Stamp validity is relative to generation_, exactly like VisitedTable;
+  /// the streaming writer (core::MutableIndex) marks and compacts through
+  /// the member functions, so the epoch hand-off rotates between the set
+  /// itself and the index's exclusive-writer sections.
+  std::vector<Generation> stamps_
+      ALGAS_GUARDED_BY_EPOCH(TombstoneSet, MutableIndex);
+  Generation generation_ ALGAS_OWNED_BY(TombstoneSet) = 1;  // 0 = never
+  std::size_t count_ ALGAS_OWNED_BY(TombstoneSet) = 0;
+};
+
+}  // namespace algas

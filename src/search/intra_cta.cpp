@@ -50,6 +50,14 @@ void IntraCtaSearch::reset(std::span<const float> query, NodeId entry,
   stats_ = SearchStats{};
   pending_ns_ = 0.0;
 
+  // Degenerate serving views (empty graph, no published entry yet) hand an
+  // invalid entry here; terminate with an empty list instead of scoring an
+  // out-of-range row.
+  if (entry == kInvalidNode || static_cast<std::size_t>(entry) >= g_.num_nodes()) {
+    done_ = true;
+    return;
+  }
+
   // Score and seed the entry point. If another CTA of the same slot already
   // claimed it, start from an empty list: the first gather would find it
   // visited anyway and this CTA ends immediately — matching the kernel,
@@ -138,6 +146,24 @@ bool IntraCtaSearch::step(StepCost& cost) {
   stats_.cost += c;
   cost = c;
   return true;
+}
+
+std::vector<KV> IntraCtaSearch::results() const {
+  if (cfg_.tombstones == nullptr) return list_.topk(cfg_.topk);
+  // Same walk as CandidateList::topk (entries ascending, empties at the
+  // tail terminate), with tombstoned ids skipped at the accept step.
+  std::vector<KV> out;
+  out.reserve(std::min(cfg_.topk, list_.capacity()));
+  for (const KV& e : list_.entries()) {
+    if (e.is_empty() || out.size() == cfg_.topk) break;
+    const NodeId id = e.id();
+    if (static_cast<std::size_t>(id) < cfg_.tombstones->size() &&
+        cfg_.tombstones->contains(id)) {
+      continue;
+    }
+    out.push_back(e);
+  }
+  return out;
 }
 
 sim::SharedMemoryLayout IntraCtaSearch::shared_memory_layout() const {

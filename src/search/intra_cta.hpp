@@ -22,6 +22,7 @@
 
 #include "dataset/dataset.hpp"
 #include "graph/graph.hpp"
+#include "graph/tombstones.hpp"
 #include "search/candidate_list.hpp"
 #include "search/visited.hpp"
 #include "simgpu/cost_model.hpp"
@@ -44,6 +45,12 @@ struct SearchConfig {
   /// instead of the fused sort-expand + bitonic-merge. Functionally
   /// identical, costlier — models GANNS's heavier data-structure upkeep.
   bool full_sort_maintenance = false;
+  /// Streaming deletes (not owned; may be null). Tombstoned nodes still
+  /// ROUTE — they stay in the candidate list and are expanded like any
+  /// other node, keeping the graph navigable — but the accept step
+  /// (results() / merge_sorted_runs) excludes them from the TopK. Null
+  /// leaves every accept path byte-identical to the tombstone-free build.
+  const TombstoneSet* tombstones = nullptr;
 };
 
 /// Virtual-time cost of one maintenance round, split by activity so benches
@@ -95,8 +102,10 @@ class IntraCtaSearch {
   /// Sorted candidate list (valid after any number of steps).
   std::span<const KV> candidates() const { return list_.entries(); }
 
-  /// Best `topk` ids found (ascending by distance).
-  std::vector<KV> results() const { return list_.topk(cfg_.topk); }
+  /// Best `topk` ids found (ascending by distance). Tombstoned nodes are
+  /// excluded here — the accept step — while remaining visible to the
+  /// traversal itself.
+  std::vector<KV> results() const;
 
   const SearchStats& stats() const { return stats_; }
   const SearchConfig& config() const { return cfg_; }

@@ -12,6 +12,7 @@ std::vector<NodeId> select_entry_points(const Graph& g, std::size_t count,
   std::vector<NodeId> entries;
   entries.reserve(count);
   const std::size_t n = g.num_nodes();
+  if (n == 0) return entries;  // empty graph: nothing to enter
   entries.push_back(g.entry_point());
   std::uint64_t h = splitmix64(seed ^ (0x9e37u + query_index * 0x100000001b3ULL));
   while (entries.size() < count && entries.size() < n) {
@@ -32,6 +33,10 @@ MultiCtaResult multi_cta_search(const Dataset& ds, const Graph& g,
                                 std::size_t query_index, std::uint64_t seed) {
   MultiCtaResult res;
   const auto entries = select_entry_points(g, num_ctas, seed, query_index);
+  if (entries.empty()) {
+    res.run_len = normalize_config(cfg, g.degree()).candidate_len;
+    return res;  // empty graph: empty TopK, zero cost
+  }
 
   VisitedTable visited(ds.num_base());
   std::vector<IntraCtaSearch> ctas;
@@ -69,7 +74,8 @@ MultiCtaResult multi_cta_search(const Dataset& ds, const Graph& g,
         std::max(res.critical_path_ns, st.cost.total_ns());
     res.rounds_max = std::max(res.rounds_max, st.rounds);
   }
-  res.topk = merge_sorted_runs(concat, ctas.size(), run_len, cfg.topk);
+  res.topk =
+      merge_sorted_runs(concat, ctas.size(), run_len, cfg.topk, cfg.tombstones);
   return res;
 }
 

@@ -8,7 +8,7 @@ namespace algas::search {
 
 std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
                                   std::size_t runs, std::size_t run_len,
-                                  std::size_t k) {
+                                  std::size_t k, const TombstoneSet* exclude) {
   assert(concat.size() >= runs * run_len);
 
   // (entry, run, offset) min-heap over run heads — the host's priority
@@ -32,9 +32,13 @@ std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
   while (!heap.empty() && out.size() < k) {
     Head h = heap.top();
     heap.pop();
-    if (seen.insert(h.kv.id()).second) {
+    const NodeId id = h.kv.id();
+    const bool tombstoned = exclude != nullptr &&
+                            static_cast<std::size_t>(id) < exclude->size() &&
+                            exclude->contains(id);
+    if (!tombstoned && seen.insert(id).second) {
       // Strip the checked flag: merged results are plain (dist, id).
-      out.push_back(KV::make(h.kv.dist, h.kv.id()));
+      out.push_back(KV::make(h.kv.dist, id));
     }
     const std::size_t next = h.offset + 1;
     if (next < run_len) {

@@ -13,15 +13,20 @@
 #include <span>
 #include <vector>
 
+#include "graph/tombstones.hpp"
 #include "search/kv.hpp"
 
 namespace algas::search {
 
 /// Merge `runs` ascending-sorted runs of length `run_len`, laid out
 /// back-to-back in `concat`, into the k best unique-id entries (ascending).
-/// Empty entries terminate a run.
+/// Empty entries terminate a run. `exclude` (may be null) is the streaming
+/// tombstone set: excluded ids are dropped at this accept step without
+/// consuming one of the k slots — deleted nodes route traversals but never
+/// surface in results.
 std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
                                   std::size_t runs, std::size_t run_len,
-                                  std::size_t k);
+                                  std::size_t k,
+                                  const TombstoneSet* exclude = nullptr);
 
 }  // namespace algas::search

@@ -29,7 +29,18 @@ class VisitedTable {
   VisitedTable() = default;
   explicit VisitedTable(std::size_t num_nodes) : stamps_(num_nodes, 0) {}
 
+  /// Growing preserves the current epoch: existing stamps and the
+  /// generation survive, and the appended nodes start at stamp 0 (never
+  /// visited, since the live generation is always >= 1). Streaming inserts
+  /// grow the table on every publish, so discarding the epoch here would
+  /// silently force a full O(n) re-stamp per growth. Shrinking (or
+  /// resizing to the same count) keeps the historical full-reset
+  /// semantics — the surviving prefix is not meaningful across a remap.
   void resize(std::size_t num_nodes) {
+    if (num_nodes > stamps_.size()) {
+      stamps_.resize(num_nodes, 0);
+      return;
+    }
     stamps_.assign(num_nodes, 0);
     generation_ = 1;
     checks_ = 0;

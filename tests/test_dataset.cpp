@@ -272,5 +272,79 @@ TEST(Dataset, DescribeMentionsKeyFacts) {
   EXPECT_NE(d.find("L2"), std::string::npos);
 }
 
+// ---------------- streaming appends ----------------
+
+/// Two-cluster toy rows so appended vectors are distinguishable.
+Dataset two_part_ds(Metric metric, std::size_t head, std::size_t tail,
+                    std::vector<float>* tail_rows) {
+  SyntheticSpec spec;
+  spec.name = "append";
+  spec.num_base = head + tail;
+  spec.num_queries = 4;
+  spec.dim = 8;
+  spec.metric = metric;
+  spec.seed = 77;
+  const Dataset full = make_synthetic(spec);
+  tail_rows->assign(full.base().begin() +
+                        static_cast<std::ptrdiff_t>(head * full.dim()),
+                    full.base().end());
+  Dataset ds(full.name(), full.dim(), full.metric());
+  ds.mutable_queries() = full.queries();
+  ds.append_base({full.base().data(), head * full.dim()});
+  return ds;
+}
+
+TEST(DatasetAppend, ExtendsNormCacheBitIdentically) {
+  // The norm cache must be extended per-row at append time (the exclusive
+  // half of the insert epoch hand-off), never lazily rebuilt by a later
+  // concurrent reader — and extension must equal a from-scratch build.
+  std::vector<float> tail;
+  Dataset ds = two_part_ds(Metric::kCosine, 60, 40, &tail);
+  const auto before = ds.base_norms();  // built at the publish point
+  ASSERT_EQ(before.size(), 60u);
+  ds.append_base(tail);
+  const auto after = ds.base_norms();
+  ASSERT_EQ(after.size(), 100u);
+
+  Dataset oneshot("oneshot", ds.dim(), ds.metric());
+  std::vector<float> all(ds.base());
+  oneshot.append_base(all);
+  const auto reference = oneshot.base_norms();
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(after[i], reference[i]) << "norm " << i;
+  }
+}
+
+TEST(DatasetAppend, ReencodesQuantizedStoreEagerly) {
+  std::vector<float> tail;
+  Dataset ds = two_part_ds(Metric::kL2, 50, 30, &tail);
+  ds.set_storage(StorageCodec::kInt8);
+  (void)ds.vector_store();  // encode the head
+  ds.append_base(tail);
+  // Scores over appended rows must match a dataset quantized in one shot.
+  Dataset oneshot("oneshot", ds.dim(), ds.metric());
+  std::vector<float> all(ds.base());
+  oneshot.append_base(all);
+  oneshot.set_storage(StorageCodec::kInt8);
+  const auto q = ds.query(0);
+  for (NodeId v = 0; v < 80; ++v) {
+    EXPECT_EQ(ds.score(q, v), oneshot.score(q, v)) << "row " << v;
+  }
+}
+
+TEST(DatasetAppend, DropsStaleGroundTruthAndValidatesShape) {
+  std::vector<float> tail;
+  Dataset ds = two_part_ds(Metric::kL2, 40, 20, &tail);
+  compute_ground_truth(ds, 4);
+  ASSERT_TRUE(ds.has_ground_truth());
+  ds.append_base(tail);
+  EXPECT_FALSE(ds.has_ground_truth());  // exact only for the old row set
+  EXPECT_EQ(ds.num_base(), 60u);
+
+  EXPECT_THROW(ds.append_base({tail.data(), 3}), std::invalid_argument);
+  Dataset dimless;
+  EXPECT_THROW(dimless.append_base(tail), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace algas

@@ -85,6 +85,93 @@ TEST(Graph, LoadRejectsGarbage) {
   std::remove(path.c_str());
 }
 
+TEST(Graph, GrowExtendsWithPaddingAndKeepsEntry) {
+  Graph g(3, 2);
+  g.mutable_neighbors(0)[0] = 1;
+  g.mutable_neighbors(2)[0] = 0;
+  g.set_entry_point(2);
+  g.grow(2);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.entry_point(), 2u);
+  // Old rows untouched, new rows all padding.
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(2)[0], 0u);
+  for (NodeId v = 3; v < 5; ++v) {
+    for (NodeId n : g.neighbors(v)) EXPECT_EQ(n, kInvalidNode);
+  }
+}
+
+TEST(Graph, EntryPointGuardsDegenerateSizes) {
+  // A zero-node graph has no valid entry; the accessor reports
+  // kInvalidNode instead of handing searches a bogus node 0.
+  Graph empty(0, 4);
+  EXPECT_EQ(empty.entry_point(), kInvalidNode);
+  Graph one(1, 4);
+  EXPECT_EQ(one.entry_point(), 0u);
+  one.set_entry_point(0);
+  EXPECT_EQ(one.entry_point(), 0u);
+}
+
+// Each corruption mode gets its own distinct failure instead of a silent
+// bad graph (or a crash in a release build).
+TEST(Graph, LoadRejectsEveryCorruptionMode) {
+  const auto dir = std::filesystem::temp_directory_path();
+  Graph g(4, 2);
+  g.mutable_neighbors(0)[0] = 3;
+  g.set_entry_point(1);
+  const auto good = (dir / "algas_good.agr").string();
+  g.save(good);
+  std::ifstream in(good, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(good.c_str());
+
+  auto write_and_expect_throw = [&](std::vector<char> data,
+                                    const char* what) {
+    const auto path = (dir / "algas_corrupt.agr").string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.close();
+    EXPECT_THROW(Graph::load(path), std::runtime_error) << what;
+    std::remove(path.c_str());
+  };
+
+  // Truncated header (cut inside the n/d/entry fields).
+  write_and_expect_throw({bytes.begin(), bytes.begin() + 12},
+                         "truncated header");
+  // Truncated payload (cut inside the adjacency rows).
+  write_and_expect_throw({bytes.begin(), bytes.end() - 5},
+                         "truncated payload");
+  // Trailing bytes after a complete payload.
+  {
+    auto fat = bytes;
+    fat.push_back('x');
+    write_and_expect_throw(fat, "trailing bytes");
+  }
+  // Entry point out of range (n = 4, entry byte patched to 9).
+  {
+    auto bad = bytes;
+    bad[24] = 9;  // u32 entry follows magic(8) + n(8) + d(8)
+    write_and_expect_throw(bad, "entry out of range");
+  }
+  // Neighbor id out of range (valid id patched past n, not kInvalidNode).
+  {
+    auto bad = bytes;
+    bad[28] = 100;  // first adjacency slot, little-endian low byte
+    bad[29] = 0;
+    bad[30] = 0;
+    bad[31] = 0;
+    write_and_expect_throw(bad, "neighbor id out of range");
+  }
+  // Node count that would overflow the adjacency allocation.
+  {
+    auto bad = bytes;
+    for (int i = 8; i < 16; ++i) bad[static_cast<std::size_t>(i)] = '\xff';
+    write_and_expect_throw(bad, "node count overflow");
+  }
+}
+
 // ---------------- builders ----------------
 
 class BuilderTest : public ::testing::TestWithParam<GraphKind> {};
@@ -155,6 +242,39 @@ TEST(Builders, SingleNodeGraph) {
     const Graph g = build_graph(kind, ds, cfg).graph;
     EXPECT_EQ(g.num_nodes(), 1u);
     EXPECT_EQ(g.valid_degree(0), 0u);
+  }
+}
+
+TEST(Builders, FewerPointsThanDegree) {
+  // n < degree: every node can link every other node, nothing out of range.
+  Dataset ds("few", 4, Metric::kL2);
+  ds.mutable_base() = {0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 2, 2, 2, 2,
+                       0, 0, 0, 1, 1, 1, 0, 0};
+  BuildConfig cfg;
+  cfg.degree = 16;
+  for (GraphKind kind : {GraphKind::kNsw, GraphKind::kCagra}) {
+    const Graph g = build_graph(kind, ds, cfg).graph;
+    EXPECT_EQ(g.num_nodes(), 6u);
+    ASSERT_LT(g.entry_point(), 6u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_GT(g.valid_degree(v), 0u);
+      for (NodeId n : g.neighbors(v)) {
+        if (n == kInvalidNode) continue;
+        EXPECT_LT(n, g.num_nodes());
+        EXPECT_NE(n, v);
+      }
+    }
+  }
+}
+
+TEST(Builders, EmptyDatasetBuildsEmptyGraph) {
+  Dataset ds("none", 4, Metric::kL2);
+  BuildConfig cfg;
+  cfg.degree = 8;
+  for (GraphKind kind : {GraphKind::kNsw, GraphKind::kCagra}) {
+    const Graph g = build_graph(kind, ds, cfg).graph;
+    EXPECT_EQ(g.num_nodes(), 0u);
+    EXPECT_EQ(g.entry_point(), kInvalidNode);
   }
 }
 

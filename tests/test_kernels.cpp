@@ -219,17 +219,62 @@ TEST(VisitedEpochs, WraparoundForcesFullStampReset) {
   EXPECT_TRUE(vt.test(2));
 }
 
-TEST(VisitedEpochs, ResizeResetsEverything) {
+TEST(VisitedEpochs, GrowPreservesTheCurrentEpoch) {
+  // Streaming inserts grow the table on every publish; the live epoch must
+  // survive so mid-flight marks stay valid and the grow is O(new nodes).
   search::VisitedTable vt(4);
+  vt.clear();
+  vt.clear();  // generation 3
   vt.test_and_set(1);
+  vt.test_and_set(3);
+  vt.resize(10);
+  EXPECT_EQ(vt.size(), 10u);
+  EXPECT_EQ(vt.generation(), 3u);
+  EXPECT_TRUE(vt.test(1));
+  EXPECT_TRUE(vt.test(3));
+  EXPECT_EQ(vt.visited_count(), 2u);
+  // Appended nodes start unvisited in this and every later generation.
+  for (std::size_t i = 4; i < 10; ++i) EXPECT_FALSE(vt.test(i));
   vt.clear();
-  vt.clear();
-  vt.resize(6);
-  EXPECT_EQ(vt.size(), 6u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(vt.test(i));
+}
+
+TEST(VisitedEpochs, ShrinkOrSameSizeResetsEverything) {
+  // A shrink follows a compaction remap — the surviving prefix's stamps are
+  // for the OLD ids, so the historical full-reset semantics stay.
+  for (const std::size_t new_size : {3u, 4u}) {
+    search::VisitedTable vt(4);
+    vt.test_and_set(1);
+    vt.clear();
+    vt.clear();
+    vt.resize(new_size);
+    EXPECT_EQ(vt.size(), new_size);
+    EXPECT_EQ(vt.generation(), 1u);
+    EXPECT_EQ(vt.checks(), 0u);
+    EXPECT_EQ(vt.visited_count(), 0u);
+    for (std::size_t i = 0; i < new_size; ++i) EXPECT_FALSE(vt.test(i));
+  }
+}
+
+TEST(VisitedEpochs, WraparoundStaysCorrectAcrossAGrow) {
+  // Property: after any interleaving of clears and grows, a node marked in
+  // a PRIOR epoch never reads visited, including across the 16-bit
+  // generation wraparound. Node 2 is stamped just before the counter
+  // wraps; the grown nodes' zero stamps must also survive the reset.
+  search::VisitedTable vt(4);
+  for (std::uint32_t i = 0; i < 65533; ++i) vt.clear();  // generation 65534
+  vt.test_and_set(2);
+  vt.resize(8);  // grow mid-epoch
+  EXPECT_EQ(vt.generation(), 65534u);
+  EXPECT_TRUE(vt.test(2));
+  EXPECT_FALSE(vt.test(6));
+  vt.clear();  // 65535
+  vt.test_and_set(6);
+  vt.clear();  // wraps: full stamp reset, back to generation 1
   EXPECT_EQ(vt.generation(), 1u);
-  EXPECT_EQ(vt.checks(), 0u);
-  EXPECT_EQ(vt.visited_count(), 0u);
-  for (std::size_t i = 0; i < 6; ++i) EXPECT_FALSE(vt.test(i));
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FALSE(vt.test(i));
+  EXPECT_FALSE(vt.test_and_set(2));
+  EXPECT_TRUE(vt.test(2));
 }
 
 }  // namespace

@@ -356,6 +356,72 @@ TEST(IntraCta, VisitedEntryEndsImmediately) {
   EXPECT_FALSE(cta.step(cost));
 }
 
+TEST(IntraCta, InvalidEntryEndsImmediately) {
+  // A degenerate graph (zero nodes published, guarded entry accessor) hands
+  // the search kInvalidNode or an out-of-range id; both must terminate
+  // cleanly instead of indexing the adjacency.
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  IntraCtaSearch cta(world.ds, world.nsw, cm, cfg);
+  VisitedTable visited(world.ds.num_base());
+  StepCost cost;
+  for (const NodeId entry :
+       {kInvalidNode, static_cast<NodeId>(world.nsw.num_nodes())}) {
+    cta.reset(world.ds.query(0), entry, &visited);
+    EXPECT_TRUE(cta.done());
+    EXPECT_FALSE(cta.step(cost));
+    EXPECT_TRUE(cta.results().empty());
+  }
+}
+
+TEST(IntraCta, TombstonesFilterResultsNotRouting) {
+  const auto& world = testing::tiny_world();
+  const sim::CostModel cm;
+  SearchConfig cfg;
+  cfg.topk = 10;
+  cfg.candidate_len = 64;
+
+  auto run = [&](const SearchConfig& c, std::size_t q) {
+    IntraCtaSearch cta(world.ds, world.nsw, cm, c);
+    VisitedTable visited(world.ds.num_base());
+    cta.reset(world.ds.query(q), world.nsw.entry_point(), &visited);
+    StepCost cost;
+    while (cta.step(cost)) {
+    }
+    return std::make_pair(cta.results(), cta.stats().expanded_points);
+  };
+
+  for (std::size_t q = 0; q < 10; ++q) {
+    const auto [plain, plain_expanded] = run(cfg, q);
+    ASSERT_GE(plain.size(), 2u);
+    TombstoneSet dead(world.ds.num_base());
+    dead.mark(plain[0].id());
+    dead.mark(plain[1].id());
+    SearchConfig filtered = cfg;
+    filtered.tombstones = &dead;
+    const auto [masked, masked_expanded] = run(filtered, q);
+
+    // Routing is untouched: the traversal expanded the same points, and
+    // the deleted nodes were still walked through.
+    EXPECT_EQ(masked_expanded, plain_expanded);
+    // Acceptance is filtered: deleted ids gone, k slots still filled from
+    // the candidates behind them.
+    EXPECT_EQ(masked.size(), plain.size());
+    for (const auto& kv : masked) {
+      EXPECT_NE(kv.id(), plain[0].id());
+      EXPECT_NE(kv.id(), plain[1].id());
+    }
+    // The surviving prefix is exactly the plain results minus the dead.
+    std::size_t j = 0;
+    for (std::size_t i = 2; i < plain.size() && j < masked.size(); ++i) {
+      EXPECT_EQ(masked[j].id(), plain[i].id());
+      EXPECT_EQ(masked[j].dist, plain[i].dist);
+      ++j;
+    }
+  }
+}
+
 // ---------------- topk_merge.hpp ----------------
 
 TEST(TopkMerge, MergesAndDedups) {
@@ -384,6 +450,28 @@ TEST(TopkMerge, StripsCheckedFlags) {
 TEST(TopkMerge, EmptyRunsAreFine) {
   std::vector<KV> concat(6, KV::empty());
   EXPECT_TRUE(merge_sorted_runs(concat, 2, 3, 4).empty());
+}
+
+TEST(TopkMerge, TombstonedIdsAreSkippedWithoutBurningSlots) {
+  std::vector<KV> concat{
+      KV::make(1.0f, 10), KV::make(3.0f, 30), KV::empty(),
+      KV::make(2.0f, 20), KV::make(4.0f, 40), KV::make(5.0f, 50)};
+  TombstoneSet dead(64);
+  dead.mark(20);
+  dead.mark(40);
+  const auto merged = merge_sorted_runs(concat, 2, 3, 3, &dead);
+  ASSERT_EQ(merged.size(), 3u);  // deleted ids did not consume k slots
+  EXPECT_EQ(merged[0].id(), 10u);
+  EXPECT_EQ(merged[1].id(), 30u);
+  EXPECT_EQ(merged[2].id(), 50u);
+  // A null set keeps the exact legacy behavior.
+  const auto plain = merge_sorted_runs(concat, 2, 3, 3, nullptr);
+  EXPECT_EQ(plain[1].id(), 20u);
+  // Ids past the set's size (e.g. rows published after the set was sized)
+  // are never treated as deleted.
+  TombstoneSet tiny(15);
+  const auto unscreened = merge_sorted_runs(concat, 2, 3, 3, &tiny);
+  EXPECT_EQ(unscreened[1].id(), 20u);
 }
 
 TEST(TopkMerge, MatchesStdSortReference) {

@@ -16,6 +16,17 @@
 //                    mirrored|naive|blocking] [--nprobe 8]
 //                    [--storage f32|f16|int8]  (base-row codec; see DESIGN.md)
 //                    [--trace out.json]  (SimTrace timeline; open in Perfetto)
+//                    (--index idx.amx replaces --graph: serve a mutable-index
+//                    snapshot, tombstones excluded from results)
+//   algas_cli insert --dataset ds.abin --rows new.fvecs
+//                    [--index idx.amx | --graph graph.agr]  (start point;
+//                    neither = bootstrap from an empty dataset)
+//                    [--degree 32] [--ef 64] [--batch N] [--threads N]
+//                    [--out-index idx.amx] [--out-dataset ds.abin]
+//                    (outputs default to updating --index / --dataset
+//                    in place; both files must travel together)
+//   algas_cli delete --dataset ds.abin --index idx.amx --ids 3,17,42
+//                    [--compact 1] [--out-index ...] [--out-dataset ...]
 //
 // Flag precedence follows the repo-wide rule (common/env.hpp): an explicit
 // CLI flag wins, then the ALGAS_* environment variable, then the compiled
@@ -191,6 +202,102 @@ void print_report(const char* engine_name, const core::EngineReport& rep) {
               static_cast<unsigned long long>(rep.pcie_transactions));
 }
 
+/// BuildConfig from the shared construction flags (insert/delete/build).
+BuildConfig parse_build_config(const Args& args) {
+  BuildConfig cfg;
+  cfg.degree = args.get_size("degree", 32);
+  cfg.ef_construction = args.get_size("ef", 64);
+  cfg.threads =
+      args.get_size("threads", RuntimeOptions::from_env().build_threads);
+  cfg.insert_batch = args.get_size("batch", cfg.insert_batch);
+  return cfg;
+}
+
+/// Load the mutable index named by --index, or adopt --graph, or (neither)
+/// bootstrap from an empty dataset. The dataset must be the one the
+/// index/graph was built over — the loaders validate the row counts agree.
+core::MutableIndex open_index(Dataset ds, const Args& args) {
+  const std::string index_path = args.get_or("index", "");
+  const std::string graph_path = args.get_or("graph", "");
+  BuildConfig cfg = parse_build_config(args);
+  if (!index_path.empty()) {
+    return core::MutableIndex::load(index_path, std::move(ds), cfg);
+  }
+  if (!graph_path.empty()) {
+    return core::MutableIndex(std::move(ds), Graph::load(graph_path), cfg);
+  }
+  return core::MutableIndex(std::move(ds), cfg);
+}
+
+int cmd_insert(const Args& args) {
+  const std::string ds_path = args.get("dataset");
+  core::MutableIndex idx = open_index(load_dataset(ds_path), args);
+
+  std::size_t row_dim = 0;
+  const std::vector<float> rows = read_fvecs(args.get("rows"), row_dim);
+  if (row_dim != idx.dataset().dim() && idx.dataset().dim() != 0) {
+    throw std::invalid_argument("row dim mismatch: rows are " +
+                                std::to_string(row_dim) + "d, dataset is " +
+                                std::to_string(idx.dataset().dim()) + "d");
+  }
+  const auto report = idx.insert(rows);
+  std::printf("inserted %zu rows in %zu batches | %zu distance evals | "
+              "virtual %.1fms batched vs %.1fms serial | now %zu published, "
+              "%zu live\n",
+              report.inserted, report.batches, report.scored_points,
+              report.virtual_build_ns / 1e6, report.serial_build_ns / 1e6,
+              idx.published(), idx.live());
+
+  // The snapshot and the (now longer) dataset only make sense as a pair.
+  const std::string out_index =
+      args.get_or("out-index", args.get_or("index", "index.amx"));
+  const std::string out_ds = args.get_or("out-dataset", ds_path);
+  save_dataset(idx.dataset(), out_ds);
+  idx.save(out_index);
+  std::printf("wrote %s + %s (epoch %llu)\n", out_index.c_str(),
+              out_ds.c_str(), static_cast<unsigned long long>(idx.epoch()));
+  return 0;
+}
+
+int cmd_delete(const Args& args) {
+  const std::string ds_path = args.get("dataset");
+  core::MutableIndex idx = open_index(load_dataset(ds_path), args);
+
+  std::size_t removed = 0, already = 0;
+  const std::string ids = args.get("ids");
+  for (std::size_t pos = 0; pos < ids.size();) {
+    const std::size_t comma = std::min(ids.find(',', pos), ids.size());
+    const NodeId v = static_cast<NodeId>(
+        std::strtoull(ids.substr(pos, comma - pos).c_str(), nullptr, 10));
+    (idx.remove(v) ? removed : already)++;
+    pos = comma + 1;
+  }
+  std::printf("tombstoned %zu ids (%zu were already dead) | %zu live of "
+              "%zu published\n",
+              removed, already, idx.live(), idx.published());
+
+  bool dataset_changed = false;
+  if (args.get_size("compact", 0) != 0) {
+    const auto rep = idx.compact();
+    dataset_changed = rep.dropped > 0;
+    std::printf("compacted: dropped %zu, %zu survivors, %zu rows "
+                "re-selected\n",
+                rep.dropped, rep.survivors, rep.patched);
+  }
+
+  const std::string out_index = args.get_or("out-index", args.get("index"));
+  idx.save(out_index);
+  std::printf("wrote %s (epoch %llu)\n", out_index.c_str(),
+              static_cast<unsigned long long>(idx.epoch()));
+  if (dataset_changed) {
+    // Compaction remapped row ids, so the paired dataset must be rewritten.
+    const std::string out_ds = args.get_or("out-dataset", ds_path);
+    save_dataset(idx.dataset(), out_ds);
+    std::printf("wrote %s (rows remapped by compaction)\n", out_ds.c_str());
+  }
+  return 0;
+}
+
 int cmd_search(const Args& args) {
   Dataset ds = load_dataset(args.get("dataset"));
   apply_storage(ds, args);
@@ -220,6 +327,36 @@ int cmd_search(const Args& args) {
     cfg.batch_size = slots;
     baselines::IvfEngine e(ds, cfg);
     print_report("ivf", e.run_closed_loop(queries));
+    return 0;
+  }
+
+  // --index: serve a mutable-index snapshot — same engine, but tombstoned
+  // rows are excluded from results and the snapshot's graph is used.
+  const std::string index_path = args.get_or("index", "");
+  if (!index_path.empty()) {
+    if (engine != "algas") {
+      throw std::invalid_argument("--index only serves the algas engine");
+    }
+    core::MutableIndex idx = core::MutableIndex::load(
+        index_path, std::move(ds), parse_build_config(args));
+    core::AlgasConfig cfg;
+    cfg.search.topk = topk;
+    cfg.search.candidate_len = list;
+    cfg.search.beam_width = args.get_size("beam", 4);
+    cfg.slots = slots;
+    cfg.n_parallel = args.get_size("nparallel", 0);
+    cfg.host_threads = args.get_size("hosts", 1);
+    cfg.host_sync = parse_sync(args.get_or("sync", "mirrored"));
+    cfg.tracer = trace;
+    std::printf("index: epoch %llu | %zu live of %zu published\n",
+                static_cast<unsigned long long>(idx.epoch()), idx.live(),
+                idx.published());
+    print_report("algas", idx.serve(cfg, queries));
+    if (trace) {
+      trace->save(trace_path);
+      std::printf("wrote trace %s (%llu events)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(trace->events_recorded()));
+    }
     return 0;
   }
 
@@ -269,7 +406,8 @@ int cmd_search(const Args& args) {
 
 void usage() {
   std::printf(
-      "usage: algas_cli <gen|gt|import|build|stats|search> --key value ...\n"
+      "usage: algas_cli <gen|gt|import|build|stats|search|insert|delete> "
+      "--key value ...\n"
       "see the header comment of tools/algas_cli.cpp for full flag lists\n");
 }
 
@@ -289,6 +427,8 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "search") return cmd_search(args);
+    if (cmd == "insert") return cmd_insert(args);
+    if (cmd == "delete") return cmd_delete(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,18 @@
+// expect-lint: ownership
+// Seeded violation: the streaming index's published graph rotates write
+// rights with the insert epoch (stage/apply/compact are MutableIndex
+// writer sections); a serving-side helper mutating it from outside the
+// owner class bypasses the MutationChecker discipline entirely.
+#define ALGAS_GUARDED_BY_EPOCH(...)
+
+struct TombstoneStamps {
+  unsigned short generation ALGAS_GUARDED_BY_EPOCH(TombstoneSet,
+                                                   MutableIndex) = 1;
+};
+
+struct ServeShortcut {
+  TombstoneStamps* stamps_ = nullptr;
+  // "Retire tombstones without paying for compact" — exactly the write the
+  // single-writer matrix forbids from a reader-side actor.
+  void retire_all() { stamps_->generation += 1; }
+};
