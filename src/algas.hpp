@@ -13,11 +13,13 @@
 #include "baselines/static_engine.hpp"  // CAGRA-style baseline
 #include "core/engine.hpp"              // AlgasEngine
 #include "core/mutable_index.hpp"       // streaming insert/delete/compact
+#include "core/sharded_engine.hpp"      // multi-device scatter-gather
 #include "core/tuner.hpp"               // adaptive tuning (SIV-C)
 #include "common/env.hpp"               // RuntimeOptions / ALGAS_* knobs
 #include "dataset/dataset.hpp"
 #include "dataset/ground_truth.hpp"
 #include "dataset/io.hpp"               // fvecs/ivecs + dataset cache files
+#include "dataset/partitioner.hpp"      // contiguous id-range sharding
 #include "dataset/registry.hpp"         // named bench datasets
 #include "dataset/synthetic.hpp"        // Table III stand-in generators
 #include "dataset/vector_store.hpp"     // f32/f16/int8 storage codecs

@@ -180,6 +180,14 @@ IvfIndex::SearchOut IvfIndex::search(const Dataset& ds,
   return out;
 }
 
+std::vector<float> IvfIndex::centroid_distances(
+    std::span<const float> query) const {
+  std::vector<float> dists(nlist());
+  distance_batch_range(Metric::kL2, query, centroids_.data(), dim_, 0,
+                       nlist(), dists);
+  return dists;
+}
+
 double IvfIndex::imbalance() const {
   if (lists_.empty()) return 0.0;
   std::size_t total = 0, max_len = 0;

@@ -40,6 +40,12 @@ class IvfIndex {
   /// Imbalance factor: max list size / mean list size (k-means quality).
   double imbalance() const;
 
+  /// Squared-L2 distance from `query` to every centroid — the coarse scan
+  /// search() runs, exposed so the sharded engine can reuse a per-shard
+  /// quantizer as a shard-affinity router (min centroid distance decides
+  /// which shards a fanout-limited query probes).
+  std::vector<float> centroid_distances(std::span<const float> query) const;
+
  private:
   std::size_t dim_ = 0;
   std::vector<float> centroids_;           // nlist x dim

@@ -47,6 +47,8 @@ RuntimeOptions RuntimeOptions::from_env() {
   opts.walltime_out = env_string("ALGAS_WALLTIME_OUT", "BENCH_walltime.json");
   opts.recall_out = env_string("ALGAS_RECALL_OUT", "BENCH_recall.json");
   opts.churn_out = env_string("ALGAS_CHURN_OUT", "BENCH_churn.json");
+  opts.shard_out = env_string("ALGAS_SHARD_OUT", "BENCH_shard.json");
+  opts.shard_hosts = std::max<std::size_t>(1, env_size("ALGAS_SHARD_HOSTS", 1));
   return opts;
 }
 

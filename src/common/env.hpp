@@ -32,6 +32,13 @@
 //                         "BENCH_recall.json").
 //   ALGAS_CHURN_OUT     — bench_churn JSON output path (default
 //                         "BENCH_churn.json").
+//   ALGAS_SHARD_OUT     — bench_shard JSON output path (default
+//                         "BENCH_shard.json").
+//   ALGAS_SHARD_HOSTS   — host worker threads per shard engine in
+//                         bench_shard (default 1). The CI determinism gate
+//                         runs the bench at two values and diffs the
+//                         result checksums — merged results must not
+//                         depend on host thread count.
 #pragma once
 
 #include <cstddef>
@@ -63,6 +70,8 @@ struct RuntimeOptions {
   std::string walltime_out;          ///< ALGAS_WALLTIME_OUT JSON path
   std::string recall_out;            ///< ALGAS_RECALL_OUT JSON path
   std::string churn_out;             ///< ALGAS_CHURN_OUT JSON path
+  std::string shard_out;             ///< ALGAS_SHARD_OUT JSON path
+  std::size_t shard_hosts = 1;       ///< ALGAS_SHARD_HOSTS per-shard hosts
 
   static RuntimeOptions from_env();
 };

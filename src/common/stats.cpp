@@ -93,6 +93,20 @@ void Histogram::add(double v) {
   ++counts_[static_cast<std::size_t>(bin)];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "Histogram::merge: geometry mismatch (lo/hi/bins must be equal)");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 double Histogram::bin_lo(std::size_t i) const {
   return lo_ + width_ * static_cast<double>(i);
 }

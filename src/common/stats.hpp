@@ -52,6 +52,13 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double v);
+
+  /// Combine another histogram into this one. Requires identical geometry
+  /// (lo, hi, bin count) — throws std::invalid_argument otherwise. Bin
+  /// counts, total, underflow and overflow are summed, so combining
+  /// per-shard histograms is exact, never a re-sample.
+  void merge(const Histogram& other);
+
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   double bin_lo(std::size_t i) const;

@@ -59,6 +59,7 @@ struct SlotRuntime {
   search::StepCost gpu_cost ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker);
   std::size_t steps ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0;
   std::size_t rounds ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0;
+  std::size_t scored ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0;
   // Completion bookkeeping (interrupt path + instrumentation).
   std::size_t finished_ctas ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = 0;
   bool complete ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker) = false;
@@ -158,6 +159,9 @@ struct RunState {
 
   std::size_t run_len = 0;       // candidate list length L (normalized)
   std::size_t total_queries = 0;
+  /// Orchestrator completion sink (RunAttach::deliver); empty = records go
+  /// to this run's own collector.
+  std::function<void(metrics::QueryRecord&&)> deliver;
   // Run-wide counters: each has exactly one writing actor class, so the
   // totals are exact without any aggregation step.
   std::size_t delivered ALGAS_OWNED_BY(HostWorker) = 0;
@@ -210,6 +214,7 @@ void CtaActor::step(sim::Simulation& sim) {
                    cm.result_write_per_entry_ns;
         rt.steps += search_.stats().expanded_points;
         rt.rounds += search_.stats().rounds;
+        rt.scored += search_.stats().scored_points;
         // Base time, not sim.now()+elapsed: StateSync advances by *elapsed
         // itself, and state write-throughs are control-plane posts whose
         // cost is independent of the issue instant, so the stamp choice
@@ -269,6 +274,7 @@ bool HostWorker::dispatch(sim::Simulation& sim, std::size_t slot,
   rt.gpu_cost = search::StepCost{};
   rt.steps = 0;
   rt.rounds = 0;
+  rt.scored = 0;
   rt.finished_ctas = 0;
   rt.complete = false;
   rt.visited.clear();  // functional clear; virtual cost charged by CTAs
@@ -329,10 +335,17 @@ void HostWorker::fetch_and_complete(sim::Simulation& sim, std::size_t slot,
   rec.done_ns = sim.now() + *elapsed;
   rec.steps = rt.steps;
   rec.rounds = rt.rounds;
+  rec.scored_points = rt.scored;
   rec.gpu_cost = rt.gpu_cost;
   rec.results = std::move(topk);
   const SimTime done_ns = rec.done_ns;
-  run_.collector.add(std::move(rec));
+  if (run_.deliver) {
+    // Sharded path: the gather stage owns completion. Result ids are still
+    // shard-local here; the sink is responsible for the global mapping.
+    run_.deliver(std::move(rec));
+  } else {
+    run_.collector.add(std::move(rec));
+  }
   ++run_.delivered;
   --run_.in_flight;
   rt.busy = false;
@@ -502,171 +515,217 @@ EngineReport AlgasEngine::run_closed_loop(std::size_t num_queries) {
   return run(arrivals);
 }
 
-EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
-  // SimCheck wiring: an explicit checker from the config wins; otherwise a
-  // private one is constructed when the build/environment default says so.
-  // Null stays the zero-cost unchecked path.
-  sim::SimCheck* check = cfg_.checker;
+/// The wiring formerly inlined in AlgasEngine::run(), held alive between
+/// construction and finish() so an orchestrator can interleave several
+/// runs' Simulations before collecting their reports. Every statement and
+/// its order match the pre-split run() exactly — the default-attach path
+/// is byte-identical.
+struct EngineRun::Impl {
+  const AlgasEngine& engine;
+  sim::SimCheck* check = nullptr;
   std::unique_ptr<sim::SimCheck> owned_check;
-  if (check == nullptr && sim::simcheck_default_enabled()) {
-    owned_check = std::make_unique<sim::SimCheck>();
-    check = owned_check.get();
-  }
-  // Surface the storage codec in checker/trace process names; the f32
-  // default keeps the historical label so existing traces stay identical.
-  std::string run_label = std::string("algas:") + host_sync_name(cfg_.host_sync);
-  if (ds_.storage() != StorageCodec::kF32) {
-    run_label += std::string(":") + storage_codec_name(ds_.storage());
-  }
-  if (check) check->begin_run(run_label);
-
-  RunState run(ds_, g_, cfg_, plan_, check);
+  std::string run_label;
+  std::unique_ptr<RunState> run;
   std::unique_ptr<ProtocolChecker> protocol;
-  if (check) {
-    run.sim.set_checker(check);
-    protocol = std::make_unique<ProtocolChecker>(check, &run.sync,
-                                                 &run.channel);
-    protocol->expect_full_drain(true);
-    run.sync.set_checker(protocol.get());
-  }
-
-  // SimTrace wiring mirrors SimCheck: explicit tracer wins, otherwise the
-  // process-wide ALGAS_TRACE tracer, otherwise null (zero-cost untraced).
-  sim::Tracer* tracer = cfg_.tracer ? cfg_.tracer : sim::default_tracer();
+  sim::Tracer* tracer = nullptr;
   std::uint64_t trace_events_before = 0;
-  if (tracer) {
-    trace_events_before = tracer->events_recorded();
-    TraceLanes& tl = run.trace;
-    tl.tracer = tracer;
-    tl.pid = tracer->begin_process(run_label);
-    tl.link_tid = tracer->lane(tl.pid, "pcie link");
-    const std::size_t n_workers =
-        std::min(cfg_.host_threads, std::max<std::size_t>(1, cfg_.slots));
-    for (std::size_t w = 0; w < n_workers; ++w) {
-      const int tid = tracer->lane(tl.pid, "host " + std::to_string(w));
-      if (w == 0) tl.host_tid0 = tid;
+
+  Impl(const AlgasEngine& e, const std::vector<PendingQuery>& arrivals,
+       RunAttach attach)
+      : engine(e) {
+    const AlgasConfig& cfg = engine.cfg_;
+    const Dataset& ds = engine.ds_;
+
+    // SimCheck wiring: an explicit checker from the config wins; otherwise
+    // a private one is constructed when the build/environment default says
+    // so. Null stays the zero-cost unchecked path.
+    check = cfg.checker;
+    if (check == nullptr && sim::simcheck_default_enabled()) {
+      owned_check = std::make_unique<sim::SimCheck>();
+      check = owned_check.get();
     }
-    for (std::size_t s = 0; s < cfg_.slots; ++s) {
-      const int tid = tracer->lane(tl.pid, "slot " + std::to_string(s));
-      if (s == 0) tl.slot_tid0 = tid;
+    // Surface the storage codec in checker/trace process names; the f32
+    // default keeps the historical label so existing traces stay identical.
+    run_label = std::string("algas:") + host_sync_name(cfg.host_sync);
+    if (ds.storage() != StorageCodec::kF32) {
+      run_label += std::string(":") + storage_codec_name(ds.storage());
     }
-    for (std::size_t s = 0; s < cfg_.slots; ++s) {
-      for (std::size_t c = 0; c < plan_.n_parallel; ++c) {
-        const int tid = tracer->lane(tl.pid, "cta s" + std::to_string(s) +
-                                                 ".c" + std::to_string(c));
-        if (s == 0 && c == 0) tl.cta_tid0 = tid;
+    run_label += attach.label_suffix;
+    if (check) check->begin_run(run_label);
+
+    run = std::make_unique<RunState>(ds, engine.g_, cfg, engine.plan_, check);
+    run->deliver = std::move(attach.deliver);
+    run->channel.set_host_bus(attach.host_bus);
+    if (check) {
+      run->sim.set_checker(check);
+      protocol = std::make_unique<ProtocolChecker>(check, &run->sync,
+                                                   &run->channel);
+      protocol->expect_full_drain(true);
+      run->sync.set_checker(protocol.get());
+    }
+
+    // SimTrace wiring mirrors SimCheck: explicit tracer wins, otherwise the
+    // process-wide ALGAS_TRACE tracer, otherwise null (zero-cost untraced).
+    tracer = cfg.tracer ? cfg.tracer : sim::default_tracer();
+    if (tracer) {
+      trace_events_before = tracer->events_recorded();
+      TraceLanes& tl = run->trace;
+      tl.tracer = tracer;
+      tl.pid = tracer->begin_process(run_label);
+      tl.link_tid = tracer->lane(tl.pid, "pcie link");
+      const std::size_t n_workers =
+          std::min(cfg.host_threads, std::max<std::size_t>(1, cfg.slots));
+      for (std::size_t w = 0; w < n_workers; ++w) {
+        const int tid = tracer->lane(tl.pid, "host " + std::to_string(w));
+        if (w == 0) tl.host_tid0 = tid;
+      }
+      for (std::size_t s = 0; s < cfg.slots; ++s) {
+        const int tid = tracer->lane(tl.pid, "slot " + std::to_string(s));
+        if (s == 0) tl.slot_tid0 = tid;
+      }
+      for (std::size_t s = 0; s < cfg.slots; ++s) {
+        for (std::size_t c = 0; c < engine.plan_.n_parallel; ++c) {
+          const int tid = tracer->lane(tl.pid, "cta s" + std::to_string(s) +
+                                                   ".c" + std::to_string(c));
+          if (s == 0 && c == 0) tl.cta_tid0 = tid;
+        }
+      }
+      run->channel.set_tracer(tracer, tl.pid, tl.link_tid);
+      run->sync.set_tracer(tracer, tl.pid, tl.slot_tid0);
+      run->sim.set_tracer(tracer);
+    }
+
+    for (const auto& a : arrivals) run->qm.push(a);
+    run->total_queries = arrivals.size();
+
+    // Persistent kernel: one launch, then every CTA lives for the whole
+    // run.
+    const SimTime start = cfg.cost.kernel_launch_ns;
+    for (std::size_t s = 0; s < cfg.slots; ++s) {
+      for (std::size_t c = 0; c < engine.plan_.n_parallel; ++c) {
+        run->ctas.push_back(std::make_unique<CtaActor>(*run, s, c));
+        if (check) {
+          // §IV-C budget: every launched block's layout must fit the tuned
+          // per-block shared-memory allowance.
+          std::ostringstream key;
+          key << "cta s" << s << " c" << c;
+          check->check_block_launch(key.str(), start, cfg.device,
+                                    engine.layout_, engine.plan_.blocks_per_sm,
+                                    engine.plan_.reserved_per_block,
+                                    engine.plan_.avail_per_block);
+        }
+        run->sim.schedule(run->ctas.back().get(), start);
       }
     }
-    run.channel.set_tracer(tracer, tl.pid, tl.link_tid);
-    run.sync.set_tracer(tracer, tl.pid, tl.slot_tid0);
-    run.sim.set_tracer(tracer);
+
+    // Host workers: slots round-robin across threads (§V-B).
+    std::vector<std::vector<std::size_t>> owned(cfg.host_threads);
+    for (std::size_t s = 0; s < cfg.slots; ++s) {
+      owned[s % cfg.host_threads].push_back(s);
+    }
+    run->worker_of_slot.assign(cfg.slots, nullptr);
+    for (auto& slots : owned) {
+      if (slots.empty()) continue;
+      auto worker =
+          std::make_unique<HostWorker>(*run, run->workers.size(), slots);
+      for (std::size_t s : slots) run->worker_of_slot[s] = worker.get();
+      run->workers.push_back(std::move(worker));
+      run->sim.schedule(run->workers.back().get(), 0.0);
+    }
   }
 
-  for (const auto& a : arrivals) run.qm.push(a);
-  run.total_queries = arrivals.size();
+  EngineReport finish() {
+    const AlgasConfig& cfg = engine.cfg_;
+    const Dataset& ds = engine.ds_;
 
-  // Persistent kernel: one launch, then every CTA lives for the whole run.
-  const SimTime start = cfg_.cost.kernel_launch_ns;
-  for (std::size_t s = 0; s < cfg_.slots; ++s) {
-    for (std::size_t c = 0; c < plan_.n_parallel; ++c) {
-      run.ctas.push_back(std::make_unique<CtaActor>(run, s, c));
-      if (check) {
-        // §IV-C budget: every launched block's layout must fit the tuned
-        // per-block shared-memory allowance.
-        std::ostringstream key;
-        key << "cta s" << s << " c" << c;
-        check->check_block_launch(key.str(), start, cfg_.device, layout_,
-                                  plan_.blocks_per_sm,
-                                  plan_.reserved_per_block,
-                                  plan_.avail_per_block);
+    if (protocol) protocol->finalize(run->sim.now());
+
+    if (run->delivered != run->total_queries) {
+      throw std::logic_error("ALGAS run lost queries: delivered " +
+                             std::to_string(run->delivered) + " of " +
+                             std::to_string(run->total_queries));
+    }
+
+    EngineReport rep;
+    rep.summary = run->collector.summarize();
+    rep.storage = ds.storage();
+    rep.plan = engine.plan_;
+    rep.sim_events = run->sim.events_processed();
+    rep.sim_stale_events = run->sim.stale_events();
+    if (check) {
+      check->record("simulation", run->sim.now(),
+                    "drained: events=" +
+                        std::to_string(run->sim.events_processed()) +
+                        " stale=" + std::to_string(run->sim.stale_events()));
+    }
+    rep.simcheck_checks = check ? check->checks_performed() : 0;
+    if (tracer) {
+      tracer->counter(run->trace.pid, "stale sim events", run->sim.now(),
+                      static_cast<double>(run->sim.stale_events()));
+    }
+    rep.trace_events =
+        tracer ? tracer->events_recorded() - trace_events_before : 0;
+    // The process-wide tracer accumulates across runs: rewrite the file
+    // after each so multi-engine benches end with every run in one Perfetto
+    // file.
+    if (tracer && tracer == sim::default_tracer()) {
+      tracer->save(sim::trace_default_path());
+    }
+    rep.host_polls = run->sync.host_polls();
+    rep.interrupts = run->interrupts;
+    rep.host_worker_steps = run->worker_steps;
+    rep.host_busy_ns = run->worker_busy_ns;
+    const auto total = run->channel.total();
+    rep.pcie_transactions = total.transactions;
+    rep.pcie_bytes = total.bytes;
+    rep.pcie_state_poll_transactions =
+        run->channel.counters(sim::Xfer::kStatePoll).transactions;
+    rep.pcie_state_write_transactions =
+        run->channel.counters(sim::Xfer::kStateWrite).transactions;
+    rep.pcie_state_transactions =
+        rep.pcie_state_poll_transactions + rep.pcie_state_write_transactions;
+
+    double busy = 0.0;
+    for (const auto& cta : run->ctas) busy += cta->busy_ns();
+    rep.cta_busy_ns = busy;
+    rep.cta_count = run->ctas.size();
+    const double span = rep.summary.span_ns;
+    if (span > 0.0 && !run->ctas.empty()) {
+      rep.gpu_utilization =
+          busy / (span * static_cast<double>(run->ctas.size()));
+    }
+
+    if (ds.has_ground_truth()) {
+      double total_recall = 0.0;
+      for (const auto& r : run->collector.records()) {
+        total_recall += metrics::recall_at_k(ds, r.query_index, r.results,
+                                             cfg.search.topk);
       }
-      run.sim.schedule(run.ctas.back().get(), start);
+      rep.recall =
+          run->collector.size() == 0
+              ? 0.0
+              : total_recall / static_cast<double>(run->collector.size());
     }
+    rep.collector = std::move(run->collector);
+    return rep;
   }
+};
 
-  // Host workers: slots round-robin across threads (§V-B).
-  std::vector<std::vector<std::size_t>> owned(cfg_.host_threads);
-  for (std::size_t s = 0; s < cfg_.slots; ++s) {
-    owned[s % cfg_.host_threads].push_back(s);
-  }
-  run.worker_of_slot.assign(cfg_.slots, nullptr);
-  for (auto& slots : owned) {
-    if (slots.empty()) continue;
-    auto worker =
-        std::make_unique<HostWorker>(run, run.workers.size(), slots);
-    for (std::size_t s : slots) run.worker_of_slot[s] = worker.get();
-    run.workers.push_back(std::move(worker));
-    run.sim.schedule(run.workers.back().get(), 0.0);
-  }
+EngineRun::EngineRun(const AlgasEngine& engine,
+                     const std::vector<PendingQuery>& arrivals,
+                     RunAttach attach)
+    : impl_(std::make_unique<Impl>(engine, arrivals, std::move(attach))) {}
 
-  run.sim.run();
+EngineRun::~EngineRun() = default;
 
-  if (protocol) protocol->finalize(run.sim.now());
+sim::Simulation& EngineRun::simulation() { return impl_->run->sim; }
 
-  if (run.delivered != run.total_queries) {
-    throw std::logic_error("ALGAS run lost queries: delivered " +
-                           std::to_string(run.delivered) + " of " +
-                           std::to_string(run.total_queries));
-  }
+EngineReport EngineRun::finish() { return impl_->finish(); }
 
-  EngineReport rep;
-  rep.summary = run.collector.summarize();
-  rep.storage = ds_.storage();
-  rep.plan = plan_;
-  rep.sim_events = run.sim.events_processed();
-  rep.sim_stale_events = run.sim.stale_events();
-  if (check) {
-    check->record("simulation", run.sim.now(),
-                  "drained: events=" +
-                      std::to_string(run.sim.events_processed()) +
-                      " stale=" + std::to_string(run.sim.stale_events()));
-  }
-  rep.simcheck_checks = check ? check->checks_performed() : 0;
-  if (tracer) {
-    tracer->counter(run.trace.pid, "stale sim events", run.sim.now(),
-                    static_cast<double>(run.sim.stale_events()));
-  }
-  rep.trace_events =
-      tracer ? tracer->events_recorded() - trace_events_before : 0;
-  // The process-wide tracer accumulates across runs: rewrite the file after
-  // each so multi-engine benches end with every run in one Perfetto file.
-  if (tracer && tracer == sim::default_tracer()) {
-    tracer->save(sim::trace_default_path());
-  }
-  rep.host_polls = run.sync.host_polls();
-  rep.interrupts = run.interrupts;
-  rep.host_worker_steps = run.worker_steps;
-  rep.host_busy_ns = run.worker_busy_ns;
-  const auto total = run.channel.total();
-  rep.pcie_transactions = total.transactions;
-  rep.pcie_bytes = total.bytes;
-  rep.pcie_state_poll_transactions =
-      run.channel.counters(sim::Xfer::kStatePoll).transactions;
-  rep.pcie_state_write_transactions =
-      run.channel.counters(sim::Xfer::kStateWrite).transactions;
-  rep.pcie_state_transactions =
-      rep.pcie_state_poll_transactions + rep.pcie_state_write_transactions;
-
-  double busy = 0.0;
-  for (const auto& cta : run.ctas) busy += cta->busy_ns();
-  const double span = rep.summary.span_ns;
-  if (span > 0.0 && !run.ctas.empty()) {
-    rep.gpu_utilization =
-        busy / (span * static_cast<double>(run.ctas.size()));
-  }
-
-  if (ds_.has_ground_truth()) {
-    double total_recall = 0.0;
-    for (const auto& r : run.collector.records()) {
-      total_recall += metrics::recall_at_k(ds_, r.query_index, r.results,
-                                           cfg_.search.topk);
-    }
-    rep.recall = run.collector.size() == 0
-                     ? 0.0
-                     : total_recall / static_cast<double>(run.collector.size());
-  }
-  rep.collector = std::move(run.collector);
-  return rep;
+EngineReport AlgasEngine::run(const std::vector<PendingQuery>& arrivals) {
+  EngineRun r(*this, arrivals);
+  r.simulation().run();
+  return r.finish();
 }
 
 }  // namespace algas::core

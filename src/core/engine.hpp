@@ -6,6 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/query_manager.hpp"
@@ -18,6 +21,10 @@
 #include "simgpu/checker.hpp"
 #include "simgpu/cost_model.hpp"
 #include "simgpu/device_props.hpp"
+
+namespace algas::sim {
+class Simulation;
+}  // namespace algas::sim
 
 namespace algas::core {
 
@@ -82,6 +89,11 @@ struct EngineReport {
   std::uint64_t interrupts = 0;  ///< completion interrupts (blocking mode)
   std::uint64_t host_worker_steps = 0;
   double host_busy_ns = 0.0;  ///< summed host-thread busy time
+  /// Summed CTA busy time and CTA count behind gpu_utilization — kept so
+  /// an aggregator (the sharded engine) can recompute utilization against
+  /// a different span than this run's own.
+  double cta_busy_ns = 0.0;
+  std::size_t cta_count = 0;
   TunePlan plan;
   std::uint64_t sim_events = 0;
   /// Queue entries the simulation popped and discarded because the actor
@@ -91,6 +103,55 @@ struct EngineReport {
   std::uint64_t simcheck_checks = 0;
   /// SimTrace events this run recorded (0 = run was untraced).
   std::uint64_t trace_events = 0;
+};
+
+class AlgasEngine;
+
+/// Wiring hooks one engine run exposes to an orchestrator (the sharded
+/// engine). The defaults leave the run fully self-contained —
+/// AlgasEngine::run() uses them unchanged, so the default path stays
+/// byte-identical to the pre-sharding engine.
+struct RunAttach {
+  /// Shared host-side bandwidth budget this run's channel contends on (not
+  /// owned; null = uncontended single-device host).
+  sim::HostBus* host_bus = nullptr;
+  /// Appended to the checker/tracer run label (e.g. ":shard3") so per-shard
+  /// processes stay distinguishable in traces and SimCheck dumps.
+  std::string label_suffix;
+  /// When set, each completed query's record is handed to this sink
+  /// INSTEAD of the run's own collector (which then stays empty). Records
+  /// carry shard-LOCAL result ids; the sharded gather maps them to global
+  /// ids before the cross-shard merge. Invoked mid-step, at most once per
+  /// query, in deterministic simulation order.
+  std::function<void(metrics::QueryRecord&&)> deliver;
+};
+
+/// One wired engine run over the simulated device, split out of
+/// AlgasEngine::run() so an orchestrator can construct several runs and
+/// drive their Simulations on one clock (sim::SimulationGroup).
+/// AlgasEngine::run() is exactly: EngineRun + Simulation::run() + finish().
+class EngineRun {
+ public:
+  EngineRun(const AlgasEngine& engine,
+            const std::vector<PendingQuery>& arrivals,
+            RunAttach attach = {});
+  ~EngineRun();
+  EngineRun(const EngineRun&) = delete;
+  EngineRun& operator=(const EngineRun&) = delete;
+
+  /// The run's event queue — schedule/step through a SimulationGroup, or
+  /// call .run() directly for a self-contained run.
+  sim::Simulation& simulation();
+
+  /// Drain verification + report assembly. Call exactly once, after the
+  /// simulation (or the group containing it) ran to completion. When a
+  /// RunAttach::deliver sink was installed the report's collector is empty
+  /// (records went to the sink) and recall/summary are left zeroed.
+  EngineReport finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 class AlgasEngine {
@@ -103,6 +164,8 @@ class AlgasEngine {
   const AlgasConfig& config() const { return cfg_; }
   /// The per-block shared-memory layout the tuner budgeted for.
   const sim::SharedMemoryLayout& layout() const { return layout_; }
+  const Dataset& dataset() const { return ds_; }
+  const Graph& graph() const { return g_; }
 
   /// Closed loop: the first `num_queries` dataset queries, all available at
   /// t=0 (capped at the dataset's query count).
@@ -112,6 +175,7 @@ class AlgasEngine {
   EngineReport run(const std::vector<PendingQuery>& arrivals);
 
  private:
+  friend class EngineRun;
   const Dataset& ds_;
   const Graph& g_;
   AlgasConfig cfg_;

@@ -1,0 +1,56 @@
+// Contiguous id-range partition of a base set across K device shards.
+//
+// Shard s owns global rows [s*n/K, (s+1)*n/K): sizes differ by at most one
+// and the mapping in either direction is O(1) arithmetic — a shard-local id
+// is the global id minus the shard's range start. Contiguity is what makes
+// the per-shard Dataset a cheap row slice and keeps the local->global map a
+// single offset add, so mapping a shard's sorted TopK run to global ids
+// preserves its (distance, id) order (the offset is monotone within a
+// shard).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "dataset/dataset.hpp"
+
+namespace algas {
+
+struct ShardRange {
+  NodeId begin = 0;  ///< first global id owned (inclusive)
+  NodeId end = 0;    ///< one past the last global id owned
+};
+
+class ShardPartition {
+ public:
+  /// Throws std::invalid_argument when shards == 0 or shards > num_base
+  /// (every shard must own at least one row — an empty shard could not
+  /// build a graph).
+  ShardPartition(std::size_t num_base, std::size_t shards);
+
+  std::size_t shards() const { return shards_; }
+  std::size_t num_base() const { return num_base_; }
+
+  ShardRange range(std::size_t shard) const;
+  std::size_t size(std::size_t shard) const;
+
+  /// Which shard owns a global id.
+  std::size_t shard_of(NodeId global) const;
+
+  NodeId to_local(NodeId global) const;
+  NodeId to_global(std::size_t shard, NodeId local) const;
+
+ private:
+  std::size_t num_base_ = 0;
+  std::size_t shards_ = 1;
+};
+
+/// Slice one shard's rows out of `ds`: base vectors are the shard's range,
+/// queries/metric/storage codec are copied, ground truth is dropped (global
+/// neighbor ids are meaningless against shard-local rows — the sharded
+/// engine scores recall on the merged global results instead). The name
+/// gains a "/shardS" suffix for diagnostics.
+Dataset make_shard_dataset(const Dataset& ds, const ShardPartition& part,
+                           std::size_t shard);
+
+}  // namespace algas

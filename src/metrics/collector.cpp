@@ -11,6 +11,13 @@ void Collector::add_batch_idle(double idle_ns, double active_ns) {
   batch_active_ns_ += active_ns;
 }
 
+void Collector::merge(const Collector& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+  batch_idle_ns_ += other.batch_idle_ns_;
+  batch_active_ns_ += other.batch_active_ns_;
+}
+
 RunSummary Collector::summarize() const {
   RunSummary s;
   s.queries = records_.size();

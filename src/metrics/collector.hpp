@@ -22,6 +22,7 @@ struct QueryRecord {
   SimTime done_ns = 0.0;      ///< when merged results were delivered
   std::size_t steps = 0;      ///< expanded points (paper's step count)
   std::size_t rounds = 0;     ///< maintenance rounds (sorts)
+  std::size_t scored_points = 0;  ///< distance evaluations (all CTAs)
   search::StepCost gpu_cost;  ///< summed across the query's CTAs
   std::vector<KV> results;
 
@@ -60,6 +61,13 @@ class Collector {
  public:
   void add(QueryRecord rec);
   void add_batch_idle(double idle_ns, double active_ns);
+
+  /// Combine another collector into this one: records are appended in the
+  /// other's insertion order and the batch idle/active accumulators are
+  /// summed. Exact by construction — summarize() over a merged collector
+  /// equals summarize() over the union of the samples — so per-shard
+  /// collectors aggregate without re-sampling.
+  void merge(const Collector& other);
 
   std::size_t size() const { return records_.size(); }
   const std::vector<QueryRecord>& records() const { return records_; }

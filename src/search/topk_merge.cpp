@@ -18,7 +18,17 @@ std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
     std::size_t run;
     std::size_t offset;
   };
-  auto greater = [](const Head& a, const Head& b) { return b.kv < a.kv; };
+  // Ordering is fully pinned: ascending (distance, id) via KV's comparator,
+  // and heads that are exactly equal — same distance AND same id, which
+  // cross-shard merging of overlapping runs can actually produce — pop in
+  // run order. Without the run tie-break the pop order of equal heads
+  // would be an implementation detail of std::priority_queue; with it the
+  // merged output is a pure function of the input runs.
+  auto greater = [](const Head& a, const Head& b) {
+    if (a.kv < b.kv) return false;
+    if (b.kv < a.kv) return true;
+    return a.run > b.run;
+  };
   std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(greater);
 
   for (std::size_t r = 0; r < runs; ++r) {

@@ -24,6 +24,15 @@ namespace algas::search {
 /// tombstone set: excluded ids are dropped at this accept step without
 /// consuming one of the k slots — deleted nodes route traversals but never
 /// surface in results.
+///
+/// Tie-breaking is deterministic and fully specified: output order is
+/// ascending (distance, id), and equal-distance entries therefore resolve
+/// by id. When the runs carry globally-mapped shard results this makes the
+/// cross-shard merge break distance ties by GLOBAL id — independent of
+/// which shard produced the entry, of shard count, and of host thread
+/// count. Heads that compare fully equal (same distance and id from
+/// different runs) pop in run order, so the result is a pure function of
+/// the input runs, not of the heap implementation.
 std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
                                   std::size_t runs, std::size_t run_len,
                                   std::size_t k,

@@ -51,7 +51,31 @@ SimTime Channel::post(SimTime now, std::size_t bytes, Xfer purpose) {
     trace_->flow_begin(trace_pid_, trace_tid_, "xfer", flow, start);
     trace_->flow_end(trace_pid_, trace_tid_, "xfer", flow, next_free_);
   }
+  // Multi-device deployments: after clearing this link the DMA still has
+  // to land through the shared host bus. The link itself frees at
+  // next_free_ (the bus wait does not back-pressure the link cursor); the
+  // issuer is charged through bus completion.
+  if (host_bus_ != nullptr) {
+    return host_bus_->acquire(next_free_, bytes, purpose) - now;
+  }
   return next_free_ - now;
+}
+
+SimTime HostBus::acquire(SimTime ready, std::size_t bytes, Xfer purpose) {
+  ++transactions_;
+  bytes_ += bytes;
+  const SimTime occupancy = cm_.host_bus_occupancy_ns(bytes);
+  const SimTime start = std::max(ready, bus_next_free_);
+  bus_next_free_ = start + occupancy;
+  bus_busy_time_ += occupancy;
+  if (trace_) {
+    TraceArgs args;
+    args.add("bytes", static_cast<std::uint64_t>(bytes));
+    args.add("wait_ns", start - ready);
+    trace_->complete(trace_pid_, trace_tid_, xfer_name(purpose), start,
+                     occupancy, std::move(args), "bus");
+  }
+  return bus_next_free_;
 }
 
 XferCounters Channel::total() const {

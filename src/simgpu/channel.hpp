@@ -34,6 +34,54 @@ struct XferCounters {
   std::uint64_t bytes = 0;
 };
 
+/// Shared host-side bandwidth budget. Each device shard owns a private
+/// Channel (a full PCIe link), but in a multi-device deployment all their
+/// data-plane DMA converges on one host root complex / memory bus. A
+/// HostBus serializes those transactions after they clear their own link:
+/// per-link bandwidth stops adding up once the aggregate exceeds
+/// CostModel::host_bus_bytes_per_ns — the contention the sharded engine's
+/// scaling sweep measures. Control-plane writes (state words, doorbells)
+/// never touch it, matching Channel's pipelining rule.
+class HostBus {
+ public:
+  explicit HostBus(const CostModel& cm) : cm_(cm) {}
+
+  /// Serialize one data-plane transaction on the shared host side, starting
+  /// no earlier than `ready` (the instant it cleared its own link).
+  /// Returns the transaction's completion time.
+  SimTime acquire(SimTime ready, std::size_t bytes, Xfer purpose);
+
+  std::uint64_t transactions() const { return transactions_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// Fraction of elapsed time the bus was busy in [0, elapsed].
+  double utilization(SimTime elapsed) const {
+    return elapsed <= 0.0 ? 0.0 : bus_busy_time_ / elapsed;
+  }
+
+  /// Attach a SimTrace sink (not owned; null disables). Every arbitration
+  /// renders its bus occupancy as a span on lane `tid` under `pid`.
+  void set_tracer(Tracer* t, int pid, int tid) {
+    trace_ = t;
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+
+ private:
+  CostModel cm_;
+  Tracer* trace_ = nullptr;
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
+  /// Same single-writer discipline as Channel: every link funnels its
+  /// data-plane transactions through acquire(), so the bus serializes by
+  /// construction. (Names differ from Channel's cursor fields so the
+  /// name-keyed ownership lint keeps the owner sets distinct.)
+  SimTime bus_next_free_ ALGAS_OWNED_BY(HostBus) = 0.0;
+  double bus_busy_time_ ALGAS_OWNED_BY(HostBus) = 0.0;
+  std::uint64_t transactions_ ALGAS_OWNED_BY(HostBus) = 0;
+  std::uint64_t bytes_ ALGAS_OWNED_BY(HostBus) = 0;
+};
+
 class Channel {
  public:
   explicit Channel(const CostModel& cm) : cm_(cm) {}
@@ -76,8 +124,15 @@ class Channel {
     trace_tid_ = link_tid;
   }
 
+  /// Attach the shared host-side bus (not owned; null = uncontended host,
+  /// the single-device default). When set, data-plane transactions clear
+  /// this link and then arbitrate on the bus before completing; the extra
+  /// wait is charged to the issuer. Control-plane posts are unaffected.
+  void set_host_bus(HostBus* bus) { host_bus_ = bus; }
+
  private:
   CostModel cm_;
+  HostBus* host_bus_ = nullptr;
   Tracer* trace_ = nullptr;
   int trace_pid_ = 0;
   int trace_tid_ = 0;

@@ -53,6 +53,14 @@ struct CostModel {
   double pcie_txn_overhead_ns = 40.0;
   /// Effective bandwidth, bytes per nanosecond (22 GB/s ~= PCIe 4 x16 eff.).
   double pcie_bytes_per_ns = 22.0;
+  /// Aggregate host-side bandwidth shared by every device link (bytes per
+  /// nanosecond). Models the root-complex / memory-bus ceiling a sharded
+  /// deployment hits: each shard owns a full 22 GB/s link, but their DMA
+  /// traffic converges on one host, so past ~3 concurrent shards the
+  /// per-link bandwidth no longer adds up (64 / 22 ≈ 2.9).
+  double host_bus_bytes_per_ns = 64.0;
+  /// Host-bus arbitration overhead per data-plane transaction.
+  double host_bus_txn_overhead_ns = 20.0;
   /// Polling a state that lives across the channel (naive mode, §V-A).
   double poll_remote_ns = 600.0;
   /// Polling a local state mirror (optimized mode, §V-A).
@@ -166,6 +174,13 @@ struct CostModel {
   /// Link occupancy of one transaction (what serializes on the channel).
   double transfer_occupancy_ns(std::size_t bytes) const {
     return pcie_txn_overhead_ns + static_cast<double>(bytes) / pcie_bytes_per_ns;
+  }
+
+  /// Host-bus occupancy of one data-plane transaction (what serializes on
+  /// the shared host side when several shard links converge on one host).
+  double host_bus_occupancy_ns(std::size_t bytes) const {
+    return host_bus_txn_overhead_ns +
+           static_cast<double>(bytes) / host_bus_bytes_per_ns;
   }
 };
 

@@ -1,6 +1,7 @@
 #include "simgpu/simulation.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "simgpu/checker.hpp"
 
@@ -32,17 +33,36 @@ bool Simulation::pop_next(Event& ev) {
   return false;
 }
 
+SimTime Simulation::next_event_time() {
+  while (!queue_.empty()) {
+    const Event& ev = queue_.top();
+    if (ev.token == ev.actor->token_) return ev.time;
+    queue_.pop();
+    ++stale_events_;
+  }
+  return std::numeric_limits<SimTime>::infinity();
+}
+
+bool Simulation::step_one() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  if (check_) check_->on_event(ev.actor, ev.actor->name(), now_, ev.time);
+  now_ = ev.time;
+  ev.actor->pending_time_ = -1.0;
+  ++events_processed_;
+  ev.actor->step(*this);
+  return true;
+}
+
+void Simulation::notify_drain() {
+  if (check_) check_->on_drain(now_);
+}
+
 void Simulation::run() {
   stopped_ = false;
-  Event ev;
-  while (!stopped_ && pop_next(ev)) {
-    if (check_) check_->on_event(ev.actor, ev.actor->name(), now_, ev.time);
-    now_ = ev.time;
-    ev.actor->pending_time_ = -1.0;
-    ++events_processed_;
-    ev.actor->step(*this);
+  while (!stopped_ && step_one()) {
   }
-  if (check_ && !stopped_) check_->on_drain(now_);
+  if (!stopped_) notify_drain();
 }
 
 void Simulation::run_until(SimTime t) {

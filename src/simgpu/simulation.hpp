@@ -64,6 +64,24 @@ class Simulation {
   /// Run until virtual time exceeds `t` (events at exactly t still run).
   void run_until(SimTime t);
 
+  /// Timestamp of the next live event, or +infinity when the queue is
+  /// drained. Stale entries encountered at the head are discarded (and
+  /// counted) exactly as run() would — peeking never changes which events
+  /// execute. This is the coordination primitive SimulationGroup uses to
+  /// interleave several simulations in global time order.
+  SimTime next_event_time();
+
+  /// Process exactly one live event (advancing now()). Returns false when
+  /// the queue is drained. Unlike run(), does NOT signal the checker's
+  /// drain hook — callers that interleave multiple simulations signal
+  /// notify_drain() once the whole group is done.
+  bool step_one();
+
+  /// Tell the attached checker the run drained naturally (what run() does
+  /// implicitly). SimulationGroup calls this per member after all members
+  /// drain; a no-op without a checker.
+  void notify_drain();
+
   void stop() { stopped_ = true; }
 
   std::uint64_t events_processed() const { return events_processed_; }

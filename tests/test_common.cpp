@@ -188,6 +188,29 @@ TEST(Histogram, RejectsBadArgs) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
 }
 
+TEST(Histogram, MergeSumsBinsAndOutOfRangeCounts) {
+  Histogram a(0.0, 10.0, 10);
+  a.add(0.5);
+  a.add(-1.0);
+  Histogram b(0.0, 10.0, 10);
+  b.add(0.7);
+  b.add(5.5);
+  b.add(42.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_EQ(a.bin_count(5), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(Histogram, MergeRejectsGeometryMismatch) {
+  Histogram a(0.0, 10.0, 10);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 20.0, 10)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 10)), std::invalid_argument);
+}
+
 TEST(Histogram, TsvHasOneLinePerBin) {
   Histogram h(0.0, 4.0, 4);
   h.add(1.0);

@@ -158,6 +158,42 @@ TEST(Collector, ClearResets) {
   EXPECT_DOUBLE_EQ(c.summarize().bubble_waste, 0.0);
 }
 
+TEST(Collector, MergeAppendsRecordsAndSumsBatchIdle) {
+  Collector a;
+  a.add(make_record(0, 0.0, 10.0, 1010.0, 30));
+  a.add_batch_idle(10.0, 100.0);
+  Collector b;
+  b.add(make_record(1, 0.0, 20.0, 2020.0, 50));
+  b.add_batch_idle(15.0, 100.0);
+
+  // Reference: the union of the samples in one collector.
+  Collector both;
+  both.add(make_record(0, 0.0, 10.0, 1010.0, 30));
+  both.add(make_record(1, 0.0, 20.0, 2020.0, 50));
+  both.add_batch_idle(25.0, 200.0);
+
+  a.merge(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.records()[0].query_index, 0u);
+  EXPECT_EQ(a.records()[1].query_index, 1u);
+  const auto got = a.summarize();
+  const auto want = both.summarize();
+  EXPECT_DOUBLE_EQ(got.span_ns, want.span_ns);
+  EXPECT_DOUBLE_EQ(got.mean_latency_us, want.mean_latency_us);
+  EXPECT_DOUBLE_EQ(got.mean_steps, want.mean_steps);
+  EXPECT_DOUBLE_EQ(got.bubble_waste, want.bubble_waste);
+}
+
+TEST(Collector, MergeFromEmptyAndIntoEmpty) {
+  Collector a;
+  Collector b;
+  b.add(make_record(7, 0.0, 0.0, 100.0, 3));
+  a.merge(b);             // into empty
+  a.merge(Collector{});   // from empty
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.records()[0].query_index, 7u);
+}
+
 // ---------------- table.hpp ----------------
 
 TEST(TsvTable, PrintsHeaderAndRows) {

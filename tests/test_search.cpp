@@ -452,6 +452,46 @@ TEST(TopkMerge, EmptyRunsAreFine) {
   EXPECT_TRUE(merge_sorted_runs(concat, 2, 3, 4).empty());
 }
 
+TEST(TopkMerge, EqualDistancesBreakTiesByGlobalId) {
+  // Crafted duplicate-distance runs: the cross-shard merge path produces
+  // equal distances from different shards routinely (identical rows land
+  // in different shards). Output order must be ascending (distance, id),
+  // regardless of which run carried which id.
+  std::vector<KV> concat{
+      // run 0 (higher ids first within the tie distance's shard)
+      KV::make(1.0f, 50), KV::make(2.0f, 90), KV::make(2.0f, 91),
+      // run 1
+      KV::make(1.0f, 40), KV::make(2.0f, 10), KV::make(3.0f, 20),
+      // run 2
+      KV::make(1.0f, 45), KV::make(2.0f, 60), KV::empty()};
+  const auto merged = merge_sorted_runs(concat, 3, 3, 8);
+  ASSERT_EQ(merged.size(), 8u);
+  const std::vector<NodeId> want{40, 45, 50, 10, 60, 90, 91, 20};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(merged[i].id(), want[i]) << "rank " << i;
+  }
+  // Ranks 0-2 share distance 1.0 and ranks 3-6 share 2.0: within a tie the
+  // ids ascend.
+  EXPECT_FLOAT_EQ(merged[0].dist, 1.0f);
+  EXPECT_FLOAT_EQ(merged[2].dist, 1.0f);
+  EXPECT_FLOAT_EQ(merged[3].dist, 2.0f);
+  EXPECT_FLOAT_EQ(merged[6].dist, 2.0f);
+}
+
+TEST(TopkMerge, FullyEqualHeadsDedupDeterministically) {
+  // The same (distance, id) appearing in several runs — a query routed to
+  // overlapping shards — must dedup to one entry and never disturb later
+  // ordering, independent of run count or layout.
+  std::vector<KV> concat{
+      KV::make(1.5f, 7), KV::make(2.5f, 8),
+      KV::make(1.5f, 7), KV::make(1.5f, 9)};
+  const auto merged = merge_sorted_runs(concat, 2, 2, 4);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].id(), 7u);
+  EXPECT_EQ(merged[1].id(), 9u);
+  EXPECT_EQ(merged[2].id(), 8u);
+}
+
 TEST(TopkMerge, TombstonedIdsAreSkippedWithoutBurningSlots) {
   std::vector<KV> concat{
       KV::make(1.0f, 10), KV::make(3.0f, 30), KV::empty(),

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "simgpu/cost_model.hpp"
 #include "simgpu/device_props.hpp"
 #include "simgpu/shared_memory.hpp"
+#include "simgpu/sim_group.hpp"
 #include "simgpu/sm_scheduler.hpp"
 #include "simgpu/simulation.hpp"
 
@@ -135,6 +137,133 @@ TEST(Simulation, RunUntilStopsAtBoundary) {
   EXPECT_EQ(a.times.size(), 3u);  // steps at 0, 10, 20
   sim.run();                      // drain the rest
   EXPECT_EQ(a.times.size(), 11u);
+}
+
+// ---------------- sim_group.hpp ----------------
+
+TEST(SimulationGroup, InterleavesMembersInGlobalTimeOrder) {
+  Simulation s1, s2;
+  std::vector<int> order;
+  class Tagger : public Actor {
+   public:
+    Tagger(std::vector<int>& o, int id) : order_(o), id_(id) {}
+    void step(Simulation&) override { order_.push_back(id_); }
+
+   private:
+    std::vector<int>& order_;
+    int id_;
+  };
+  Tagger a(order, 1), b(order, 2), c(order, 3), d(order, 4);
+  SimulationGroup group;
+  group.add(&s1);
+  group.add(&s2);
+  s1.schedule(&a, 10.0);
+  s1.schedule(&c, 30.0);
+  s2.schedule(&b, 20.0);
+  s2.schedule(&d, 25.0);
+  group.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
+  EXPECT_DOUBLE_EQ(s1.now(), 30.0);
+  EXPECT_DOUBLE_EQ(s2.now(), 25.0);
+}
+
+TEST(SimulationGroup, TiesBreakByMemberInsertionOrder) {
+  Simulation s1, s2;
+  std::vector<int> order;
+  class Tagger : public Actor {
+   public:
+    Tagger(std::vector<int>& o, int id) : order_(o), id_(id) {}
+    void step(Simulation&) override { order_.push_back(id_); }
+
+   private:
+    std::vector<int>& order_;
+    int id_;
+  };
+  Tagger a(order, 1), b(order, 2);
+  SimulationGroup group;
+  group.add(&s1);
+  group.add(&s2);
+  s2.schedule(&b, 5.0);  // scheduled first, but s1 was added first
+  s1.schedule(&a, 5.0);
+  group.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulationGroup, GroupOfOneMatchesPlainRun) {
+  // Same workload through run() and through a singleton group: identical
+  // step times and event counts.
+  ProbeActor solo(5.0, 3), grouped(5.0, 3);
+  Simulation plain;
+  plain.schedule(&solo, 0.0);
+  plain.run();
+  Simulation member;
+  member.schedule(&grouped, 0.0);
+  SimulationGroup group;
+  group.add(&member);
+  group.run();
+  EXPECT_EQ(grouped.times, solo.times);
+  EXPECT_EQ(member.events_processed(), plain.events_processed());
+  EXPECT_DOUBLE_EQ(member.now(), plain.now());
+}
+
+TEST(SimulationGroup, CrossMemberSchedulingWakesTarget) {
+  // An actor stepped in member A schedules an actor living in member B at
+  // a future time; the group routes back to B when that time comes.
+  Simulation a_sim, b_sim;
+  ProbeActor target;
+  class Waker : public Actor {
+   public:
+    Waker(Simulation& peer, Actor* target) : peer_(peer), target_(target) {}
+    void step(Simulation& sim) override {
+      peer_.schedule(target_, sim.now() + 7.0);
+    }
+
+   private:
+    Simulation& peer_;
+    Actor* target_;
+  };
+  Waker waker(b_sim, &target);
+  a_sim.schedule(&waker, 3.0);
+  SimulationGroup group;
+  group.add(&a_sim);
+  group.add(&b_sim);
+  group.run();
+  ASSERT_EQ(target.times.size(), 1u);
+  EXPECT_DOUBLE_EQ(target.times[0], 10.0);
+  EXPECT_DOUBLE_EQ(b_sim.now(), 10.0);
+}
+
+TEST(SimulationGroup, DrainHooksFireOncePerMemberAfterFullDrain) {
+  Simulation s1, s2;
+  SimCheck c1, c2;
+  s1.set_checker(&c1);
+  s2.set_checker(&c2);
+  ProbeActor a(1.0, 2), b(1.0, 2);
+  s1.schedule(&a, 0.0);
+  s2.schedule(&b, 0.5);
+  SimulationGroup group;
+  group.add(&s1);
+  group.add(&s2);
+  group.run();
+  // Both members drained and both checkers observed traffic.
+  EXPECT_GT(c1.checks_performed(), 0u);
+  EXPECT_GT(c2.checks_performed(), 0u);
+  EXPECT_TRUE(s1.idle());
+  EXPECT_TRUE(s2.idle());
+}
+
+TEST(SimulationGroup, NextEventTimePeeksAcrossMembers) {
+  Simulation s1, s2;
+  ProbeActor a, b;
+  s1.schedule(&a, 40.0);
+  s2.schedule(&b, 15.0);
+  SimulationGroup group;
+  group.add(&s1);
+  group.add(&s2);
+  EXPECT_DOUBLE_EQ(group.next_event_time(), 15.0);
+  group.run();
+  EXPECT_EQ(group.next_event_time(),
+            std::numeric_limits<SimTime>::infinity());
 }
 
 // ---------------- checker.hpp: event-queue hygiene ----------------

@@ -18,6 +18,10 @@
 //                    [--trace out.json]  (SimTrace timeline; open in Perfetto)
 //                    (--index idx.amx replaces --graph: serve a mutable-index
 //                    snapshot, tombstones excluded from results)
+//                    [--shards K]  (scatter-gather over K simulated devices;
+//                    per-shard graphs are built from --degree/--ef/--threads,
+//                    so --graph is not needed) [--fanout F] (probe only the
+//                    F closest shards; 0 = all) [--router-centroids 8]
 //   algas_cli insert --dataset ds.abin --rows new.fvecs
 //                    [--index idx.amx | --graph graph.agr]  (start point;
 //                    neither = bootstrap from an empty dataset)
@@ -352,6 +356,50 @@ int cmd_search(const Args& args) {
                 static_cast<unsigned long long>(idx.epoch()), idx.live(),
                 idx.published());
     print_report("algas", idx.serve(cfg, queries));
+    if (trace) {
+      trace->save(trace_path);
+      std::printf("wrote trace %s (%llu events)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(trace->events_recorded()));
+    }
+    return 0;
+  }
+
+  // --shards: scatter-gather over K simulated devices. Per-shard graphs
+  // are built here (deterministically, from the shared build flags); a
+  // monolithic --graph cannot be split, so the flag is ignored.
+  const std::size_t shards = args.get_size("shards", 0);
+  if (shards > 0) {
+    if (engine != "algas") {
+      throw std::invalid_argument("--shards only serves the algas engine");
+    }
+    core::ShardedConfig scfg;
+    scfg.base.search.topk = topk;
+    scfg.base.search.candidate_len = list;
+    scfg.base.search.beam_width = args.get_size("beam", 4);
+    scfg.base.slots = slots;
+    scfg.base.n_parallel = args.get_size("nparallel", 0);
+    scfg.base.host_threads = args.get_size("hosts", 1);
+    scfg.base.host_sync = parse_sync(args.get_or("sync", "mirrored"));
+    scfg.base.tracer = trace;
+    scfg.shards = shards;
+    scfg.fanout = args.get_size("fanout", 0);
+    scfg.router_centroids = args.get_size("router-centroids", 8);
+    scfg.build = parse_build_config(args);
+    core::ShardedEngine e(ds, scfg);
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto r = e.partition().range(s);
+      std::printf("shard %zu: rows [%u, %u) | %zu nodes\n", s, r.begin,
+                  r.end, e.shard_graph(s).num_nodes());
+    }
+    const core::ShardedReport rep = e.run_closed_loop(queries);
+    print_report("algas-sharded", rep.merged);
+    std::printf("scatter-gather: mean fanout %.2f | %zu merges "
+                "(%.1fus busy) | host bus %llu txns, %llu bytes, %.1f%% "
+                "busy\n",
+                rep.mean_fanout, rep.merges, rep.merge_busy_ns / 1e3,
+                static_cast<unsigned long long>(rep.bus_transactions),
+                static_cast<unsigned long long>(rep.bus_bytes),
+                100.0 * rep.bus_utilization);
     if (trace) {
       trace->save(trace_path);
       std::printf("wrote trace %s (%llu events)\n", trace_path.c_str(),
