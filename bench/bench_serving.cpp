@@ -1,0 +1,355 @@
+// bench_serving — open-loop serving: offered load vs goodput under
+// deadlines and admission control.
+//
+// Per dataset the bench first calibrates a closed-loop saturation
+// throughput (unbounded queue, no deadlines), then sweeps an open-loop
+// Poisson arrival process from underload to 2x saturation — plus a bursty
+// MMPP point at saturation — against a bounded host queue (4x slots,
+// reject-new) and a per-query deadline pinned at 8x the calibrated p99
+// service latency. The headline claim this bench gates is GRACEFUL
+// degradation: past saturation the engine sheds load at admission and
+// evicts expired slots instead of collapsing, so goodput at 2x offered
+// load stays within a constant factor of the peak instead of cliffing to
+// zero.
+//
+// CI gates three things off the JSON (serving-gate on
+// bench/serving_baseline.json):
+//   * determinism: the bench runs with ALGAS_SERVING_HOSTS=1 and =4; the
+//     arrival_checksum (FNV-1a over every gate variant's workload trace)
+//     and the underload variant's results_checksum must be byte-identical
+//     — the workload is a pure function of the config, and a workload that
+//     serves everything must not depend on host thread count. Overload
+//     outcomes legitimately depend on virtual timing (hence on
+//     host_threads), so they are NOT checksum-gated.
+//   * graceful flag: goodput(2x) > 0 and >= 0.3 x peak goodput at hosts=1.
+//   * floors: serving_goodput_qps (virtual, 1x point) and
+//     serving_distance_evals_per_s (wall clock) through check_walltime.py.
+//
+// Knobs (environment, same semantics as the other benches):
+//   ALGAS_SCALE          dataset size multiplier (CI gate uses 0.05)
+//   ALGAS_QUERIES        queries per configuration (CI: 40)
+//   ALGAS_DATASETS       all selected names get scenario rows; the first
+//                        is the gate dataset with the full load sweep
+//   ALGAS_SERVING_HOSTS  host worker threads (default 1)
+//   ALGAS_SERVING_OUT    output JSON path (default "BENCH_serving.json")
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/env.hpp"
+#include "core/serving_engine.hpp"
+#include "metrics/table.hpp"
+
+using namespace algas;
+
+namespace {
+
+constexpr std::size_t kTopk = 10;
+constexpr std::size_t kCandidateLen = 1024;
+constexpr std::size_t kSlots = 16;
+/// Bounded host queue: small enough that the 2x-saturation point actually
+/// sheds at CI scale (40 queries), large enough that the underload
+/// determinism variant never does (its steady-state in-flight count sits
+/// well under the slot count, so the queue stays near empty).
+constexpr std::size_t kCapacity = 4;
+/// Per-query deadline = this multiple of the calibrated closed-loop p99
+/// service latency: comfortable at underload, binding in the overload tail.
+constexpr double kDeadlineP99Mult = 2.0;
+
+core::ShardedConfig engine_config(bool bounded, std::size_t host_threads) {
+  core::ShardedConfig cfg;
+  cfg.base.search.topk = kTopk;
+  cfg.base.search.candidate_len = kCandidateLen;
+  cfg.base.search.beam_width = 4;
+  cfg.base.search.offset_beam = 24;
+  cfg.base.slots = kSlots;
+  cfg.base.n_parallel = 4;
+  cfg.base.host_threads = host_threads;
+  cfg.base.host_sync = core::HostSync::kPollMirrored;
+  cfg.shards = 1;
+  cfg.build = bench::bench_build_config();
+  if (bounded) {
+    cfg.base.admission.capacity = kCapacity;
+    cfg.base.admission.policy = core::ShedPolicy::kRejectNew;
+  }
+  return cfg;
+}
+
+/// FNV-1a 64 helpers shared by both checksums (same mixing as bench_shard,
+/// so the gates compare like with like).
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  void mix_double(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+};
+
+/// Workload fingerprint: query index, arrival instant, deadline, priority
+/// of every generated arrival — identical across hosts by construction.
+void mix_arrivals(Fnv& f, const std::vector<core::PendingQuery>& arrivals) {
+  for (const auto& a : arrivals) {
+    f.mix(a.query_index);
+    f.mix_double(a.arrival_ns);
+    f.mix_double(a.deadline_ns);
+    f.mix(a.priority);
+  }
+}
+
+/// Served-results fingerprint in query-index order (bench_shard's scheme,
+/// plus the disposition byte so a served/shed flip cannot cancel out).
+std::uint64_t results_checksum(const metrics::Collector& c) {
+  std::vector<const metrics::QueryRecord*> recs;
+  recs.reserve(c.size());
+  for (const auto& r : c.records()) recs.push_back(&r);
+  std::sort(recs.begin(), recs.end(),
+            [](const metrics::QueryRecord* a, const metrics::QueryRecord* b) {
+              return a->query_index < b->query_index;
+            });
+  Fnv f;
+  for (const auto* r : recs) {
+    f.mix(r->query_index);
+    f.mix(static_cast<std::uint64_t>(r->disposition));
+    f.mix(r->results.size());
+    for (const KV& kv : r->results) {
+      f.mix(kv.id());
+      std::uint32_t bits;
+      static_assert(sizeof(bits) == sizeof(kv.dist));
+      std::memcpy(&bits, &kv.dist, sizeof(bits));
+      f.mix(bits);
+    }
+  }
+  return f.h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+struct Variant {
+  std::string name;
+  double mult;           ///< offered rate as a multiple of sat_qps
+  sim::ArrivalKind kind;
+};
+
+struct Row {
+  std::string dataset;
+  Variant v;
+  double rate_qps = 0.0;
+  core::ServingReport rep;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+sim::ArrivalConfig arrival_config(const Variant& v, double sat_qps) {
+  sim::ArrivalConfig a;
+  a.kind = v.kind;
+  a.rate_qps = v.mult * sat_qps;
+  a.seed = 42;
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "serving",
+      "open-loop serving: Poisson/MMPP arrivals vs goodput under per-query "
+      "deadlines, bounded admission, and Expired-slot eviction");
+
+  const RuntimeOptions opts = RuntimeOptions::from_env();
+  const auto names = bench::selected_datasets();
+
+  const std::vector<Variant> gate_sweep = {
+      {"x025", 0.25, sim::ArrivalKind::kPoisson},
+      {"x050", 0.50, sim::ArrivalKind::kPoisson},
+      {"x075", 0.75, sim::ArrivalKind::kPoisson},
+      {"x100", 1.00, sim::ArrivalKind::kPoisson},
+      {"x150", 1.50, sim::ArrivalKind::kPoisson},
+      {"x200", 2.00, sim::ArrivalKind::kPoisson},
+      {"bursty100", 1.00, sim::ArrivalKind::kBursty},
+  };
+  const std::vector<Variant> scenario_sweep = {
+      {"x075", 0.75, sim::ArrivalKind::kPoisson},
+      {"x200", 2.00, sim::ArrivalKind::kPoisson},
+  };
+
+  std::vector<Row> rows;
+  double gate_sat_qps = 0.0, gate_deadline_us = 0.0;
+  double gate_goodput_1x = 0.0, gate_evals_per_s = 0.0;
+  Fnv arrival_hash;
+  std::uint64_t underload_checksum = 0;
+  bool graceful = true;
+
+  for (std::size_t d = 0; d < names.size(); ++d) {
+    const std::string& name = names[d];
+    const bool is_gate = d == 0;
+    const Dataset& ds = bench::dataset(name);
+    const std::size_t nq = bench::query_budget(ds, 100);
+
+    // Closed-loop calibration (unbounded queue, no deadlines): saturation
+    // throughput and the service tail the deadline is pinned against.
+    // ALWAYS at host_threads=1 — calibration defines the workload (rates,
+    // deadline), and the workload must be a pure function of the config so
+    // the arrival checksum stays identical across ALGAS_SERVING_HOSTS.
+    core::ShardedEngine calib(ds, engine_config(/*bounded=*/false, 1));
+    const auto calib_rep = calib.run_closed_loop(nq);
+    const double sat_qps = calib_rep.merged.summary.throughput_qps;
+    const double deadline_us =
+        kDeadlineP99Mult * calib_rep.merged.summary.p99_service_us;
+
+    core::ServingConfig scfg;
+    scfg.sharded = engine_config(/*bounded=*/true, opts.serving_hosts);
+    scfg.deadline_us = deadline_us;
+    scfg.high_priority_fraction = 0.25;
+    scfg.num_queries = nq;
+    core::ServingEngine serving(ds, scfg);
+
+    const auto& sweep = is_gate ? gate_sweep : scenario_sweep;
+    for (const Variant& v : sweep) {
+      const sim::ArrivalConfig a = arrival_config(v, sat_qps);
+      const auto t0 = std::chrono::steady_clock::now();
+      Row row{name, v, a.rate_qps, serving.run(a, deadline_us)};
+      const double wall_s = seconds_since(t0);
+      if (is_gate) {
+        mix_arrivals(arrival_hash, row.rep.arrivals);
+        if (v.name == "x025") {
+          underload_checksum =
+              results_checksum(row.rep.sharded.merged.collector);
+          if (row.rep.shed_rate > 0.0) {
+            std::fprintf(stderr,
+                         "# WARNING: underload variant shed %.1f%% — the "
+                         "determinism gate expects everything served\n",
+                         100.0 * row.rep.shed_rate);
+          }
+        }
+        if (v.name == "x100") {
+          gate_goodput_1x = row.rep.goodput_qps;
+          double scored = 0.0;
+          for (const auto& rec :
+               row.rep.sharded.merged.collector.records()) {
+            scored += static_cast<double>(rec.scored_points);
+          }
+          gate_evals_per_s = scored / wall_s;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+    if (is_gate) {
+      gate_sat_qps = sat_qps;
+      gate_deadline_us = deadline_us;
+      double peak = 0.0, at_2x = 0.0;
+      for (const auto& r : rows) {
+        if (r.dataset != name || r.v.kind != sim::ArrivalKind::kPoisson) {
+          continue;
+        }
+        peak = std::max(peak, r.rep.goodput_qps);
+        if (r.v.name == "x200") at_2x = r.rep.goodput_qps;
+      }
+      graceful = at_2x > 0.0 && at_2x >= 0.3 * peak;
+      std::printf("# graceful %s: goodput peak %.0f qps, at 2x %.0f qps %s\n",
+                  name.c_str(), peak, at_2x, graceful ? "(ok)" : "(CLIFF)");
+    }
+  }
+
+  metrics::TsvTable table({"dataset", "variant", "rate_qps", "offered_qps",
+                           "served", "shed_queue", "shed_deadline", "evicted",
+                           "goodput_qps", "shed_rate", "p99_latency_us",
+                           "p999_latency_us"});
+  for (const auto& r : rows) {
+    const auto& s = r.rep.sharded.merged.summary;
+    table.row()
+        .cell(r.dataset)
+        .cell(r.v.name)
+        .cell(r.rate_qps, 0)
+        .cell(r.rep.offered_qps, 0)
+        .cell(s.served)
+        .cell(s.shed_queue)
+        .cell(s.shed_deadline)
+        .cell(s.evicted)
+        .cell(s.goodput_qps, 0)
+        .cell(s.shed_rate, 3)
+        .cell(s.p99_latency_us, 1)
+        .cell(s.p999_latency_us, 1);
+  }
+  table.print(std::cout);
+
+  const Dataset& gate_ds = bench::dataset(names.front());
+  const std::size_t gate_nq = bench::query_budget(gate_ds, 100);
+
+  const std::string out_path = opts.serving_out;
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  out.setf(std::ios::fixed);
+  out.precision(10);
+  out << "{\n"
+      << "  \"bench\": \"bench_serving\",\n"
+      << "  \"dataset\": \"" << names.front() << "\",\n"
+      << "  \"n_base\": " << gate_ds.num_base() << ",\n"
+      << "  \"dim\": " << gate_ds.dim() << ",\n"
+      << "  \"queries\": " << gate_nq << ",\n"
+      << "  \"topk\": " << kTopk << ",\n"
+      << "  \"slots\": " << kSlots << ",\n"
+      << "  \"capacity\": " << kCapacity << ",\n"
+      << "  \"serving_hosts\": " << opts.serving_hosts << ",\n"
+      << "  \"sat_qps\": " << gate_sat_qps << ",\n"
+      << "  \"deadline_us\": " << gate_deadline_us << ",\n"
+      << "  \"graceful\": " << (graceful ? "true" : "false") << ",\n"
+      << "  \"arrival_checksum\": \"" << hex64(arrival_hash.h) << "\",\n"
+      << "  \"underload_results_checksum\": \"" << hex64(underload_checksum)
+      << "\",\n"
+      << "  \"serving_goodput_qps\": " << gate_goodput_1x << ",\n"
+      << "  \"serving_distance_evals_per_s\": " << gate_evals_per_s << ",\n"
+      << "  \"variants\": {\n";
+  bool first = true;
+  for (const auto& r : rows) {
+    if (r.dataset != names.front()) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << r.v.name << "\": {\n"
+        << "      \"rate_qps\": " << r.rate_qps << ",\n"
+        << "      \"offered_qps\": " << r.rep.offered_qps << ",\n"
+        << "      \"goodput_qps\": " << r.rep.goodput_qps << ",\n"
+        << "      \"shed_rate\": " << r.rep.shed_rate << ",\n"
+        << "      \"deadline_miss_rate\": " << r.rep.deadline_miss_rate
+        << ",\n"
+        << "      \"p99_latency_us\": " << r.rep.p99_latency_us << "\n"
+        << "    }";
+  }
+  out << "\n  },\n"
+      << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    const auto& s = r.rep.sharded.merged.summary;
+    out << "    {\"dataset\": \"" << r.dataset << "\", \"variant\": \""
+        << r.v.name << "\", \"goodput_qps\": " << s.goodput_qps
+        << ", \"shed_rate\": " << s.shed_rate << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"end\": true\n}\n";
+  std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
+  return 0;
+}

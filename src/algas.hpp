@@ -13,6 +13,7 @@
 #include "baselines/static_engine.hpp"  // CAGRA-style baseline
 #include "core/engine.hpp"              // AlgasEngine
 #include "core/mutable_index.hpp"       // streaming insert/delete/compact
+#include "core/serving_engine.hpp"      // open-loop arrivals + deadlines
 #include "core/sharded_engine.hpp"      // multi-device scatter-gather
 #include "core/tuner.hpp"               // adaptive tuning (SIV-C)
 #include "common/env.hpp"               // RuntimeOptions / ALGAS_* knobs

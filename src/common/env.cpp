@@ -49,6 +49,9 @@ RuntimeOptions RuntimeOptions::from_env() {
   opts.churn_out = env_string("ALGAS_CHURN_OUT", "BENCH_churn.json");
   opts.shard_out = env_string("ALGAS_SHARD_OUT", "BENCH_shard.json");
   opts.shard_hosts = std::max<std::size_t>(1, env_size("ALGAS_SHARD_HOSTS", 1));
+  opts.serving_out = env_string("ALGAS_SERVING_OUT", "BENCH_serving.json");
+  opts.serving_hosts =
+      std::max<std::size_t>(1, env_size("ALGAS_SERVING_HOSTS", 1));
   return opts;
 }
 

@@ -39,6 +39,13 @@
 //                         runs the bench at two values and diffs the
 //                         result checksums — merged results must not
 //                         depend on host thread count.
+//   ALGAS_SERVING_OUT   — bench_serving JSON output path (default
+//                         "BENCH_serving.json").
+//   ALGAS_SERVING_HOSTS — host worker threads in bench_serving (default 1,
+//                         min 1). The serving gate runs 1 vs 4 and diffs
+//                         the arrival-trace checksum plus the underload
+//                         variant's results checksum — everything-served
+//                         workloads must not depend on host thread count.
 #pragma once
 
 #include <cstddef>
@@ -72,6 +79,8 @@ struct RuntimeOptions {
   std::string churn_out;             ///< ALGAS_CHURN_OUT JSON path
   std::string shard_out;             ///< ALGAS_SHARD_OUT JSON path
   std::size_t shard_hosts = 1;       ///< ALGAS_SHARD_HOSTS per-shard hosts
+  std::string serving_out;           ///< ALGAS_SERVING_OUT JSON path
+  std::size_t serving_hosts = 1;     ///< ALGAS_SERVING_HOSTS host threads
 
   static RuntimeOptions from_env();
 };

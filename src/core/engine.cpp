@@ -48,6 +48,12 @@ struct SlotRuntime {
   std::size_t query_index ALGAS_OWNED_BY(HostWorker) = 0;
   SimTime arrival_ns ALGAS_OWNED_BY(HostWorker) = 0.0;
   SimTime dispatch_ns ALGAS_OWNED_BY(HostWorker) = 0.0;
+  /// Absolute deadline of the in-flight query (infinity = none). Consulted
+  /// by the host only — the persistent kernel never reads deadlines, so the
+  /// device-side search is deadline-oblivious exactly like real ALGAS CTAs.
+  SimTime deadline_ns ALGAS_OWNED_BY(HostWorker) =
+      std::numeric_limits<SimTime>::infinity();
+  std::uint8_t priority ALGAS_OWNED_BY(HostWorker) = 0;
   search::VisitedTable visited ALGAS_GUARDED_BY_EPOCH(CtaActor, HostWorker,
                                                       RunState);
   std::vector<NodeId> entries ALGAS_OWNED_BY(HostWorker);  // per-CTA entry pts
@@ -68,6 +74,26 @@ struct SlotRuntime {
 };
 
 struct RunState;
+class AdmissionActor;
+
+/// Builds the zero-results record for a query that never ran: the shed
+/// instant stamps dispatch/gpu_done/done so service_ns is zero rather than
+/// negative, and the disposition says which policy dropped it. The caller
+/// still counts the record toward `delivered` — every arrival produces
+/// exactly one record regardless of outcome.
+metrics::QueryRecord shed_record(const PendingQuery& q, SimTime when,
+                                 metrics::Disposition why) {
+  metrics::QueryRecord rec;
+  rec.query_index = q.query_index;
+  rec.arrival_ns = q.arrival_ns;
+  rec.dispatch_ns = when;
+  rec.gpu_done_ns = when;
+  rec.done_ns = when;
+  rec.deadline_ns = q.deadline_ns;
+  rec.priority = q.priority;
+  rec.disposition = why;
+  return rec;
+}
 
 /// One persistent-kernel CTA: polls its slot state, runs maintenance rounds
 /// when in Work, pushes results and flags Finish, exits on Quit.
@@ -111,6 +137,9 @@ class HostWorker final : public sim::Actor {
   bool dispatch(sim::Simulation& sim, std::size_t slot, double* elapsed);
   void fetch_and_complete(sim::Simulation& sim, std::size_t slot,
                           double* elapsed);
+  void evict_expired(sim::Simulation& sim, std::size_t slot, double* elapsed);
+  void deliver_shed(sim::Simulation& sim, const PendingQuery& q,
+                    double* elapsed);
 
   RunState& run_;
   std::size_t index_;  ///< worker ordinal (trace lane)
@@ -164,15 +193,87 @@ struct RunState {
   std::function<void(metrics::QueryRecord&&)> deliver;
   // Run-wide counters: each has exactly one writing actor class, so the
   // totals are exact without any aggregation step.
-  std::size_t delivered ALGAS_OWNED_BY(HostWorker) = 0;
+  std::size_t delivered ALGAS_OWNED_BY(HostWorker, AdmissionActor) = 0;
   std::uint64_t interrupts ALGAS_OWNED_BY(CtaActor) = 0;
   std::uint64_t worker_steps ALGAS_OWNED_BY(HostWorker) = 0;
   double worker_busy_ns ALGAS_OWNED_BY(HostWorker) = 0.0;
   TraceLanes trace;
   std::size_t in_flight ALGAS_OWNED_BY(HostWorker) = 0;  // dispatched, undelivered
+  /// Non-null iff the run has a bounded admission queue: arrivals then flow
+  /// through the actor at their arrival instants instead of being
+  /// pre-loaded, so workload exhaustion must also wait for it.
+  AdmissionActor* admission = nullptr;
 
-  bool workload_exhausted() const { return qm.empty(); }
+  bool workload_exhausted() const;
+  /// Earliest instant new work can appear: the queue's next arrival or the
+  /// admission actor's next push, whichever is sooner. Workers sleeping on
+  /// a dry queue wake here.
+  SimTime next_arrival() const;
 };
+
+/// Serving front-end: feeds arrivals into the bounded host queue at their
+/// arrival instants, so AdmissionConfig capacity decisions see the true
+/// queue occupancy of that moment. Admission bookkeeping charges no virtual
+/// time — it models a front-end off the host workers' critical path — and a
+/// query the policy sheds becomes a zero-cost kShedQueue record at the
+/// instant the decision is made, keeping the one-record-per-arrival
+/// invariant. Only instantiated when cfg.admission is bounded; the default
+/// unbounded path pre-loads the queue exactly as the pre-serving engine did
+/// (byte-identical).
+class AdmissionActor final : public sim::Actor {
+ public:
+  AdmissionActor(RunState& run, std::vector<PendingQuery> arrivals)
+      : run_(run), arrivals_(std::move(arrivals)) {}
+
+  void step(sim::Simulation& sim) override {
+    while (cursor_ < arrivals_.size() &&
+           arrivals_[cursor_].arrival_ns <= sim.now()) {
+      const PendingQuery q = arrivals_[cursor_++];
+      auto victim = run_.qm.admit(q, run_.cfg.admission);
+      if (victim) {
+        // kRejectNew returns the newcomer; kDropOldest returns the evicted
+        // queue entry. Either way the victim's record is stamped now — the
+        // instant the admission decision was made.
+        metrics::QueryRecord rec =
+            shed_record(*victim, sim.now(), metrics::Disposition::kShedQueue);
+        if (run_.deliver) {
+          run_.deliver(std::move(rec));
+        } else {
+          run_.collector.add(std::move(rec));
+        }
+        ++run_.delivered;
+      }
+    }
+    if (cursor_ < arrivals_.size()) {
+      sim.schedule(this, arrivals_[cursor_].arrival_ns);
+    }
+  }
+  const char* name() const override { return "admission"; }
+
+  bool exhausted() const { return cursor_ == arrivals_.size(); }
+  SimTime next_push_ns() const {
+    return exhausted() ? std::numeric_limits<SimTime>::infinity()
+                       : arrivals_[cursor_].arrival_ns;
+  }
+  SimTime first_arrival_ns() const {
+    return arrivals_.empty() ? 0.0 : arrivals_.front().arrival_ns;
+  }
+
+ private:
+  RunState& run_;
+  std::vector<PendingQuery> arrivals_;
+  std::size_t cursor_ = 0;
+};
+
+bool RunState::workload_exhausted() const {
+  return qm.empty() && (admission == nullptr || admission->exhausted());
+}
+
+SimTime RunState::next_arrival() const {
+  SimTime t = qm.next_arrival();
+  if (admission != nullptr) t = std::min(t, admission->next_push_ns());
+  return t;
+}
 
 CtaActor::CtaActor(RunState& run, std::size_t slot, std::size_t cta)
     : run_(run),
@@ -255,8 +356,10 @@ void CtaActor::step(sim::Simulation& sim) {
     case SlotState::kNone:
     case SlotState::kFinish:
     case SlotState::kDone:
+    case SlotState::kExpired:
       // Idle polling between queries (the cost dynamic batching pays
-      // instead of kernel relaunches).
+      // instead of kernel relaunches). Expired is host-owned just like
+      // Done: the CTA waits for the host to recycle or retire the slot.
       sim.schedule(this, sim.now() + elapsed + cm.cta_poll_interval_ns);
       return;
   }
@@ -264,13 +367,25 @@ void CtaActor::step(sim::Simulation& sim) {
 
 bool HostWorker::dispatch(sim::Simulation& sim, std::size_t slot,
                           double* elapsed) {
-  auto q = run_.qm.pop_ready(sim.now() + *elapsed);
-  if (!q) return false;
   const sim::CostModel& cm = run_.cfg.cost;
+  auto q = run_.qm.pop_ready(sim.now() + *elapsed);
+  // Deadline check at dispatch: a query already past its deadline is shed
+  // instead of occupying a slot (strict <, so deadline == now still runs —
+  // the caller could in principle still use it). Sheds are cheap
+  // bookkeeping, so one step may clear a whole run of expired queue heads
+  // before finding dispatchable work. The infinite default deadline makes
+  // this loop a no-op on every pre-serving workload.
+  while (q && q->deadline_ns < sim.now() + *elapsed) {
+    deliver_shed(sim, *q, elapsed);
+    q = run_.qm.pop_ready(sim.now() + *elapsed);
+  }
+  if (!q) return false;
   SlotRuntime& rt = run_.slots[slot];
   rt.busy = true;
   rt.query_index = q->query_index;
   rt.arrival_ns = q->arrival_ns;
+  rt.deadline_ns = q->deadline_ns;
+  rt.priority = q->priority;
   rt.gpu_cost = search::StepCost{};
   rt.steps = 0;
   rt.rounds = 0;
@@ -368,6 +483,83 @@ void HostWorker::fetch_and_complete(sim::Simulation& sim, std::size_t slot,
   }
 }
 
+/// Drops one expired queue head: charges the shed bookkeeping and emits the
+/// kShedDeadline record at the post-charge instant.
+void HostWorker::deliver_shed(sim::Simulation& sim, const PendingQuery& q,
+                              double* elapsed) {
+  *elapsed += run_.cfg.cost.host_shed_ns;
+  metrics::QueryRecord rec = shed_record(q, sim.now() + *elapsed,
+                                         metrics::Disposition::kShedDeadline);
+  if (run_.deliver) {
+    run_.deliver(std::move(rec));
+  } else {
+    run_.collector.add(std::move(rec));
+  }
+  ++run_.delivered;
+  if (run_.trace.tracer) {
+    run_.trace.tracer->counter(run_.trace.pid, "delivered",
+                               sim.now() + *elapsed,
+                               static_cast<double>(run_.delivered));
+  }
+}
+
+/// The Expired path of the Fig 5 extension: the slot finished its search
+/// but the result is past deadline, so the host discards the block without
+/// paying the fetch/merge the Done path would. States go Finish -> Expired
+/// (then Work on refill or Quit on retire, both host-written); the device
+/// work that DID happen (steps/rounds/scored/gpu_cost) stays on the record
+/// so utilization accounting remains exact, but results stay empty — the
+/// block never crosses the channel.
+void HostWorker::evict_expired(sim::Simulation& sim, std::size_t slot,
+                               double* elapsed) {
+  const sim::CostModel& cm = run_.cfg.cost;
+  SlotRuntime& rt = run_.slots[slot];
+  for (std::size_t c = 0; c < run_.plan.n_parallel; ++c) {
+    run_.sync.host_write(sim.now(), slot, c, SlotState::kExpired, elapsed);
+  }
+  *elapsed += cm.host_evict_ns;
+
+  metrics::QueryRecord rec;
+  rec.query_index = rt.query_index;
+  rec.slot = slot;
+  rec.arrival_ns = rt.arrival_ns;
+  rec.dispatch_ns = rt.dispatch_ns;
+  rec.gpu_done_ns = rt.gpu_done_ns;
+  rec.done_ns = sim.now() + *elapsed;
+  rec.deadline_ns = rt.deadline_ns;
+  rec.priority = rt.priority;
+  rec.disposition = metrics::Disposition::kEvicted;
+  rec.steps = rt.steps;
+  rec.rounds = rt.rounds;
+  rec.scored_points = rt.scored;
+  rec.gpu_cost = rt.gpu_cost;
+  const SimTime done_ns = rec.done_ns;
+  if (run_.deliver) {
+    run_.deliver(std::move(rec));
+  } else {
+    run_.collector.add(std::move(rec));
+  }
+  ++run_.delivered;
+  --run_.in_flight;
+  rt.busy = false;
+  if (run_.trace.tracer) {
+    auto& tr = *run_.trace.tracer;
+    const int slot_tid = run_.trace.slot_tid0 + static_cast<int>(slot);
+    sim::TraceArgs args;
+    args.add("query", static_cast<std::uint64_t>(rt.query_index));
+    args.add("steps", static_cast<std::uint64_t>(rt.steps));
+    tr.complete(run_.trace.pid, slot_tid,
+                "q" + std::to_string(rt.query_index) + " (evicted)",
+                rt.dispatch_ns, done_ns - rt.dispatch_ns, std::move(args),
+                "slot");
+    tr.flow_end(run_.trace.pid, slot_tid, "query", rt.flow_id, done_ns);
+    tr.counter(run_.trace.pid, "in-flight queries", done_ns,
+               static_cast<double>(run_.in_flight));
+    tr.counter(run_.trace.pid, "delivered", done_ns,
+               static_cast<double>(run_.delivered));
+  }
+}
+
 void HostWorker::step(sim::Simulation& sim) {
   ++run_.worker_steps;
   const sim::CostModel& cm = run_.cfg.cost;
@@ -398,9 +590,18 @@ void HostWorker::step(sim::Simulation& sim) {
                                                SlotState::kFinish, &elapsed);
       }
       if (!finished) continue;
-      // Bring the states through the legal transitions even in blocking
-      // mode (fetch_and_complete writes Finish -> Done).
-      fetch_and_complete(sim, slot, &elapsed);
+      // Eviction happens at completion detection, never mid-search: the
+      // persistent kernel cannot be preempted, so a deadline can only
+      // deprioritize finished work (Finish -> Expired) rather than abort
+      // running work. Strictly past-deadline only — finishing exactly at
+      // the deadline still serves.
+      if (rt.deadline_ns < sim.now() + elapsed) {
+        evict_expired(sim, slot, &elapsed);
+      } else {
+        // Bring the states through the legal transitions even in blocking
+        // mode (fetch_and_complete writes Finish -> Done).
+        fetch_and_complete(sim, slot, &elapsed);
+      }
       if (!dispatch(sim, slot, &elapsed) && run_.workload_exhausted()) {
         for (std::size_t c = 0; c < run_.plan.n_parallel; ++c) {
           run_.sync.host_write(sim.now(), slot, c, SlotState::kQuit,
@@ -454,7 +655,7 @@ void HostWorker::step(sim::Simulation& sim) {
       any_pending |= rt.busy && rt.complete;
       any_free |= !rt.busy && !rt.quit;
     }
-    const SimTime arrival = run_.qm.next_arrival();
+    const SimTime arrival = run_.next_arrival();
     if (any_pending || (any_free && std::isfinite(arrival))) {
       SimTime when = next;
       if (!any_pending && arrival > when) when = arrival;
@@ -469,7 +670,7 @@ void HostWorker::step(sim::Simulation& sim) {
     bool any_busy = false;
     for (std::size_t s : my_slots_) any_busy |= run_.slots[s].busy;
     if (!any_busy) {
-      const SimTime arrival = run_.qm.next_arrival();
+      const SimTime arrival = run_.next_arrival();
       if (std::isfinite(arrival)) next = std::max(next, arrival);
     }
   }
@@ -526,6 +727,7 @@ struct EngineRun::Impl {
   std::unique_ptr<sim::SimCheck> owned_check;
   std::string run_label;
   std::unique_ptr<RunState> run;
+  std::unique_ptr<sim::Actor> admission_owner;
   std::unique_ptr<ProtocolChecker> protocol;
   sim::Tracer* tracer = nullptr;
   std::uint64_t trace_events_before = 0;
@@ -595,7 +797,21 @@ struct EngineRun::Impl {
       run->sim.set_tracer(tracer);
     }
 
-    for (const auto& a : arrivals) run->qm.push(a);
+    if (cfg.admission.bounded()) {
+      // Serving mode: arrivals flow through an admission actor at their
+      // arrival instants so capacity decisions see the queue occupancy of
+      // that moment. The unbounded default pre-loads the queue — the exact
+      // pre-serving wiring, byte-identical event sequence included.
+      auto actor = std::make_unique<AdmissionActor>(*run, arrivals);
+      AdmissionActor* raw = actor.get();
+      run->admission = raw;
+      admission_owner = std::move(actor);
+      if (!arrivals.empty()) {
+        run->sim.schedule(raw, raw->first_arrival_ns());
+      }
+    } else {
+      for (const auto& a : arrivals) run->qm.push(a);
+    }
     run->total_queries = arrivals.size();
 
     // Persistent kernel: one launch, then every CTA lives for the whole
@@ -696,15 +912,19 @@ struct EngineRun::Impl {
     }
 
     if (ds.has_ground_truth()) {
+      // Recall is a statement about delivered answers, so it averages over
+      // SERVED records only: a shed/evicted query returned nothing and
+      // shows up in shed_rate/goodput instead of dragging recall to zero.
       double total_recall = 0.0;
+      std::size_t served = 0;
       for (const auto& r : run->collector.records()) {
+        if (!r.served()) continue;
+        ++served;
         total_recall += metrics::recall_at_k(ds, r.query_index, r.results,
                                              cfg.search.topk);
       }
       rep.recall =
-          run->collector.size() == 0
-              ? 0.0
-              : total_recall / static_cast<double>(run->collector.size());
+          served == 0 ? 0.0 : total_recall / static_cast<double>(served);
     }
     rep.collector = std::move(run->collector);
     return rep;

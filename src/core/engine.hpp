@@ -52,6 +52,15 @@ struct AlgasConfig {
   sim::DeviceProps device = sim::DeviceProps::rtx_a6000();
   sim::CostModel cost;
   std::uint64_t seed = 1;
+  /// Admission control for the host queue (serving layer). The default
+  /// keeps the queue unbounded, which preserves the classic byte-identical
+  /// path: arrivals are pre-loaded into the QueryManager at wiring time. A
+  /// bounded capacity instead routes arrivals through an admission actor at
+  /// their arrival instants, so occupancy is measured when each capacity
+  /// decision is made; queries shed by the policy produce a QueryRecord
+  /// with a non-served disposition (goodput/shed-rate accounting) and the
+  /// run still delivers exactly one record per arrival.
+  AdmissionConfig admission;
   /// Optional SimCheck verification layer (not owned). Null means
   /// unchecked — unless the build (ALGAS_SIMCHECK CMake option) or the
   /// ALGAS_SIMCHECK environment variable turns checking on by default, in

@@ -132,7 +132,8 @@ void ProtocolChecker::pre_write(Side side, SimTime t, std::size_t slot,
     msg << "illegal " << side_name(side) << " transition "
         << slot_state_name(from) << " -> " << slot_state_name(to) << " on "
         << key << " (Fig 5 permits None->Work, Work->Finish, Finish->Done, "
-        << "Done->Work, Done->Quit, None->Quit)";
+        << "Done->Work, Done->Quit, None->Quit; the deadline extension adds "
+        << "Finish->Expired, Expired->Work, Expired->Quit)";
     check_->fail("illegal-transition", key, t, msg.str());
   }
 

@@ -28,6 +28,13 @@ struct GatherState {
   SimTime arrival_ns = 0.0;
   SimTime dispatch_ns = std::numeric_limits<SimTime>::infinity();  // min
   SimTime gpu_done_ns = 0.0;                                       // max
+  SimTime deadline_ns = std::numeric_limits<SimTime>::infinity();
+  std::uint8_t priority = 0;
+  /// Best outcome among the probed shards (min Disposition ordinal): one
+  /// shard serving is enough for the merged query to serve — shards that
+  /// shed or evicted just contribute an empty run. Starts at the worst
+  /// ordinal and min-accumulates as shard records land.
+  metrics::Disposition disposition = metrics::Disposition::kEvicted;
   std::size_t steps = 0;
   std::size_t rounds = 0;
   std::size_t scored = 0;
@@ -89,11 +96,18 @@ class MergeActor final : public sim::Actor {
     rec.dispatch_ns = g.dispatch_ns;
     rec.gpu_done_ns = g.gpu_done_ns;
     rec.done_ns = sim.now() + elapsed;
+    rec.deadline_ns = g.deadline_ns;
+    rec.priority = g.priority;
+    rec.disposition = g.disposition;
     rec.steps = g.steps;
     rec.rounds = g.rounds;
     rec.scored_points = g.scored;
     rec.gpu_cost = g.gpu_cost;
-    rec.results = search::merge_sorted_runs(concat, n_runs, topk_, topk_);
+    if (rec.served()) {
+      // Shards that shed/evicted left their run slot empty (KV::empty
+      // padding); the merge tolerates that, so one serving shard suffices.
+      rec.results = search::merge_sorted_runs(concat, n_runs, topk_, topk_);
+    }
     out_.add(std::move(rec));
 
     if (trace_ != nullptr) {
@@ -240,15 +254,15 @@ ShardedReport ShardedEngine::run(const std::vector<PendingQuery>& arrivals) {
     // against the original dataset.
     if (ds_.has_ground_truth()) {
       double total_recall = 0.0;
+      std::size_t served = 0;
       for (const auto& r : rep.merged.collector.records()) {
+        if (!r.served()) continue;
+        ++served;
         total_recall += metrics::recall_at_k(ds_, r.query_index, r.results,
                                              cfg_.base.search.topk);
       }
       rep.merged.recall =
-          rep.merged.collector.size() == 0
-              ? 0.0
-              : total_recall /
-                    static_cast<double>(rep.merged.collector.size());
+          served == 0 ? 0.0 : total_recall / static_cast<double>(served);
     }
     rep.shards.push_back(rep.merged);
     rep.shard_records.merge(rep.merged.collector);
@@ -273,6 +287,8 @@ ShardedReport ShardedEngine::run(const std::vector<PendingQuery>& arrivals) {
     }
     g.route = route(a.query_index);
     g.arrival_ns = a.arrival_ns;
+    g.deadline_ns = a.deadline_ns;
+    g.priority = a.priority;
     g.runs.resize(g.route.size());
     routed_total += g.route.size();
     for (const std::size_t s : g.route) shard_arrivals[s].push_back(a);
@@ -319,6 +335,7 @@ ShardedReport ShardedEngine::run(const std::vector<PendingQuery>& arrivals) {
       }
       g.dispatch_ns = std::min(g.dispatch_ns, rec.dispatch_ns);
       g.gpu_done_ns = std::max(g.gpu_done_ns, rec.gpu_done_ns);
+      if (rec.disposition < g.disposition) g.disposition = rec.disposition;
       g.steps += rec.steps;
       g.rounds += rec.rounds;
       g.scored += rec.scored_points;
@@ -384,14 +401,15 @@ ShardedReport ShardedEngine::run(const std::vector<PendingQuery>& arrivals) {
   }
   if (ds_.has_ground_truth()) {
     double total_recall = 0.0;
+    std::size_t served = 0;
     for (const auto& r : merged_collector.records()) {
+      if (!r.served()) continue;
+      ++served;
       total_recall += metrics::recall_at_k(ds_, r.query_index, r.results,
                                            cfg_.base.search.topk);
     }
-    m.recall = merged_collector.size() == 0
-                   ? 0.0
-                   : total_recall /
-                         static_cast<double>(merged_collector.size());
+    m.recall = served == 0 ? 0.0
+                           : total_recall / static_cast<double>(served);
   }
   m.collector = std::move(merged_collector);
   m.trace_events =

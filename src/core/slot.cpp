@@ -9,6 +9,7 @@ const char* slot_state_name(SlotState s) {
     case SlotState::kFinish: return "Finish";
     case SlotState::kDone: return "Done";
     case SlotState::kQuit: return "Quit";
+    case SlotState::kExpired: return "Expired";
   }
   return "invalid";
 }
@@ -29,6 +30,7 @@ Side state_owner(SlotState s) {
     case SlotState::kFinish: return Side::kHost;   // host fetches results
     case SlotState::kDone: return Side::kHost;     // refill or retire
     case SlotState::kQuit: return Side::kNone;     // terminal
+    case SlotState::kExpired: return Side::kHost;  // recycle or retire
   }
   return Side::kNone;
 }
@@ -40,11 +42,13 @@ bool is_legal_transition(SlotState from, SlotState to) {
     case SlotState::kWork:
       return to == SlotState::kFinish;
     case SlotState::kFinish:
-      return to == SlotState::kDone;
+      return to == SlotState::kDone || to == SlotState::kExpired;
     case SlotState::kDone:
       return to == SlotState::kWork || to == SlotState::kQuit;
     case SlotState::kQuit:
       return false;
+    case SlotState::kExpired:
+      return to == SlotState::kWork || to == SlotState::kQuit;
   }
   return false;
 }

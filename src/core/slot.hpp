@@ -18,13 +18,20 @@ enum class SlotState : std::uint32_t {
   kFinish,    ///< CTA pushed its results and flagged completion
   kDone,      ///< host fetched results (transient host-side view)
   kQuit,      ///< slot retired; CTA exits its polling loop
+  kExpired,   ///< host discarded a finished query past its deadline
 };
 
 const char* slot_state_name(SlotState s);
 
-/// Legal transitions (Fig 5): None->Work (host), Work->Finish (CTA),
-/// Finish->Done (host), Done->Work (host, next query), Done->Quit (host),
-/// None->Quit (host, drain before first query).
+/// Legal transitions (Fig 5, extended by the serving layer): None->Work
+/// (host), Work->Finish (CTA), Finish->Done (host), Done->Work (host, next
+/// query), Done->Quit (host), None->Quit (host, drain before first query).
+/// The deadline extension adds the Expired terminal branch: Finish->Expired
+/// (host, deadline passed — results are never fetched across the channel),
+/// then Expired->Work (slot recycled) or Expired->Quit (drain), exactly
+/// mirroring Done's outgoing edges. A CTA cannot be preempted mid-search
+/// (the persistent kernel owns the word in Work), so Work->Expired stays
+/// illegal — eviction happens at the completion-detection point only.
 bool is_legal_transition(SlotState from, SlotState to);
 
 /// Which side of the channel touches a state word.

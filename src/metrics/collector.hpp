@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -13,32 +15,66 @@
 
 namespace algas::metrics {
 
+/// Terminal outcome of one query under the serving layer. Every arrival
+/// produces exactly one record with exactly one disposition; the closed-
+/// loop benches only ever produce kServed, which keeps their accounting
+/// byte-identical to the pre-serving collector.
+enum class Disposition : std::uint8_t {
+  kServed = 0,    ///< merged results delivered to the caller
+  kShedQueue,     ///< rejected by admission control (bounded queue full)
+  kShedDeadline,  ///< expired in the host queue before dispatch
+  kEvicted,       ///< finished on the device past deadline; results dropped
+};
+
+const char* disposition_name(Disposition d);
+
 struct QueryRecord {
   std::size_t query_index = 0;
   std::size_t slot = 0;       ///< slot (dynamic) or batch index (static)
   SimTime arrival_ns = 0.0;   ///< when the query entered the system
   SimTime dispatch_ns = 0.0;  ///< when a slot/batch picked it up
   SimTime gpu_done_ns = 0.0;  ///< when the query's last CTA finished
-  SimTime done_ns = 0.0;      ///< when merged results were delivered
+  SimTime done_ns = 0.0;      ///< when delivered (or shed/evicted)
+  /// Absolute deadline carried from the arrival; infinity = none.
+  SimTime deadline_ns = std::numeric_limits<SimTime>::infinity();
+  std::uint8_t priority = 0;  ///< admission priority class
+  Disposition disposition = Disposition::kServed;
   std::size_t steps = 0;      ///< expanded points (paper's step count)
   std::size_t rounds = 0;     ///< maintenance rounds (sorts)
   std::size_t scored_points = 0;  ///< distance evaluations (all CTAs)
   search::StepCost gpu_cost;  ///< summed across the query's CTAs
-  std::vector<KV> results;
+  std::vector<KV> results;    ///< empty unless disposition == kServed
 
   SimTime latency_ns() const { return done_ns - arrival_ns; }
   SimTime service_ns() const { return done_ns - dispatch_ns; }
+  bool served() const { return disposition == Disposition::kServed; }
+  /// Goodput criterion: delivered by the deadline (an infinite deadline is
+  /// always met; a shed/evicted query never is).
+  bool in_deadline() const { return served() && done_ns <= deadline_ns; }
 };
 
 struct RunSummary {
-  std::size_t queries = 0;
+  std::size_t queries = 0;        ///< all records (served + shed + evicted)
   double span_ns = 0.0;           ///< first arrival -> last completion
+  /// Served queries per second of span. Equal to queries/span on closed
+  /// loops (everything serves); under overload only completed work counts.
   double throughput_qps = 0.0;
-  /// End-to-end latency (arrival -> completion; includes queueing).
+  // --- Serving-layer outcome accounting (all zero on closed loops) -------
+  std::size_t served = 0;         ///< disposition kServed
+  std::size_t shed_queue = 0;     ///< rejected by admission control
+  std::size_t shed_deadline = 0;  ///< expired in queue before dispatch
+  std::size_t evicted = 0;        ///< finished past deadline, dropped
+  std::size_t deadline_misses = 0;  ///< finite-deadline queries not met
+  double goodput_qps = 0.0;       ///< in-deadline completions per second
+  double shed_rate = 0.0;         ///< (queries - served) / queries
+  double deadline_miss_rate = 0.0;  ///< deadline_misses / queries
+  /// End-to-end latency (arrival -> completion; includes queueing) over
+  /// SERVED queries only — a shed query has no completion to measure.
   double mean_latency_us = 0.0;
   double p50_latency_us = 0.0;
   double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
   /// Service latency (dispatch -> completion). Closed-loop benches report
   /// this — it is what the paper's per-query latency figures measure, free
   /// of the artificial queueing a submit-everything-at-t0 workload adds.
@@ -46,6 +82,7 @@ struct RunSummary {
   double p50_service_us = 0.0;
   double p95_service_us = 0.0;
   double p99_service_us = 0.0;
+  double p999_service_us = 0.0;
   double mean_steps = 0.0;
   double max_steps = 0.0;
   /// Fraction of summed GPU search time spent in sorting (Fig 3 / Fig 17).

@@ -1,0 +1,78 @@
+#include "simgpu/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace algas::sim {
+
+const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+  }
+  return "invalid";
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  if (!(cfg_.rate_qps > 0.0)) {
+    throw std::invalid_argument("ArrivalProcess: rate_qps must be > 0");
+  }
+  if (cfg_.kind == ArrivalKind::kBursty) {
+    if (!(cfg_.base_dwell_us > 0.0) || !(cfg_.burst_dwell_us > 0.0)) {
+      throw std::invalid_argument(
+          "ArrivalProcess: bursty dwell times must be > 0");
+    }
+    phase_end_ns_ = exp_sample_ns(cfg_.base_dwell_us * 1000.0);
+  }
+}
+
+double ArrivalProcess::exp_sample_ns(double mean_ns) {
+  // Inverse transform on [0,1): -mean * ln(1-u). u never reaches 1, so the
+  // log argument stays in (0,1] and the sample is finite.
+  const double u = rng_.next_double();
+  return -mean_ns * std::log(1.0 - u);
+}
+
+double ArrivalProcess::current_rate_qps() const {
+  return in_burst_ ? cfg_.effective_burst_rate() : cfg_.rate_qps;
+}
+
+double ArrivalProcess::current_dwell_mean_ns() const {
+  return (in_burst_ ? cfg_.burst_dwell_us : cfg_.base_dwell_us) * 1000.0;
+}
+
+SimTime ArrivalProcess::next_arrival_ns() {
+  if (cfg_.kind == ArrivalKind::kPoisson) {
+    now_ns_ += exp_sample_ns(1e9 / cfg_.rate_qps);
+    return now_ns_;
+  }
+  // MMPP-2 via competing exponentials: sample a wait at the current phase's
+  // rate; if it lands inside the phase it is the next arrival (memoryless,
+  // so no correction needed), otherwise advance to the phase boundary, flip
+  // phases, draw the new phase's dwell, and resample — the exponential's
+  // lack of memory makes the discarded partial wait exact, not an
+  // approximation.
+  for (;;) {
+    const double wait = exp_sample_ns(1e9 / current_rate_qps());
+    if (now_ns_ + wait <= phase_end_ns_) {
+      if (in_burst_) burst_ns_ += wait;
+      now_ns_ += wait;
+      return now_ns_;
+    }
+    const double to_boundary = phase_end_ns_ - now_ns_;
+    if (in_burst_) burst_ns_ += to_boundary;
+    now_ns_ = phase_end_ns_;
+    in_burst_ = !in_burst_;
+    phase_end_ns_ = now_ns_ + exp_sample_ns(current_dwell_mean_ns());
+  }
+}
+
+std::vector<SimTime> ArrivalProcess::generate_ns(std::size_t n) {
+  std::vector<SimTime> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_arrival_ns());
+  return out;
+}
+
+}  // namespace algas::sim

@@ -1,0 +1,90 @@
+// Deterministic open-loop arrival processes for the serving layer.
+//
+// Two workload shapes drive the serving benches: a memoryless Poisson
+// stream (exponential inter-arrivals at a fixed rate) and a bursty
+// 2-phase MMPP (Markov-modulated Poisson process) that alternates between
+// a base phase and a burst phase, each with its own rate and exponential
+// dwell time. Both draw every sample from common/rng.hpp — the repo's only
+// sanctioned randomness — so a (config, seed) pair replays the exact same
+// trace on every host, which is what lets CI checksum arrival traces
+// byte-for-byte across machines and thread counts.
+//
+// Times are virtual nanoseconds (SimTime), compatible with
+// core::PendingQuery::arrival_ns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace algas::sim {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson = 0,  ///< memoryless stream at rate_qps
+  kBursty,       ///< 2-phase MMPP: base rate / burst rate alternation
+};
+
+const char* arrival_kind_name(ArrivalKind k);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Offered rate of the base phase, queries per (virtual) second.
+  double rate_qps = 1000.0;
+  /// Burst-phase rate for kBursty; 0 defaults to 4x rate_qps.
+  double burst_rate_qps = 0.0;
+  /// Mean dwell time in the base phase, microseconds (exponential).
+  double base_dwell_us = 2000.0;
+  /// Mean dwell time in the burst phase, microseconds (exponential).
+  double burst_dwell_us = 500.0;
+  std::uint64_t seed = 1;
+
+  double effective_burst_rate() const {
+    return burst_rate_qps > 0.0 ? burst_rate_qps : 4.0 * rate_qps;
+  }
+  /// Long-run fraction of time spent in the burst phase (kBursty): the
+  /// alternating-renewal occupancy burst_dwell / (base_dwell + burst_dwell).
+  double expected_burst_fraction() const {
+    return burst_dwell_us / (base_dwell_us + burst_dwell_us);
+  }
+};
+
+/// Stateful arrival generator. next_arrival_ns() yields a strictly
+/// nondecreasing sequence of absolute virtual timestamps starting after 0.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& cfg);
+
+  /// Absolute virtual time of the next arrival (advances the process).
+  SimTime next_arrival_ns();
+
+  /// The next n arrivals as a vector (convenience for wiring workloads).
+  std::vector<SimTime> generate_ns(std::size_t n);
+
+  const ArrivalConfig& config() const { return cfg_; }
+  /// True while the MMPP sits in its burst phase (always false for Poisson).
+  bool in_burst() const { return in_burst_; }
+  /// Total virtual time the process has spent in the burst phase so far.
+  SimTime burst_time_ns() const { return burst_ns_; }
+  /// Virtual time the process has advanced through (phase time, not just
+  /// arrival stamps — together with burst_time_ns this measures phase
+  /// occupancy for the MMPP property tests).
+  SimTime elapsed_ns() const { return now_ns_; }
+
+ private:
+  /// One Exp(1/mean) sample in nanoseconds via inverse transform.
+  double exp_sample_ns(double mean_ns);
+  double current_rate_qps() const;
+  double current_dwell_mean_ns() const;
+
+  ArrivalConfig cfg_;
+  Rng rng_;
+  SimTime now_ns_ = 0.0;
+  bool in_burst_ = false;
+  SimTime phase_end_ns_ = 0.0;  ///< kBursty: when the current phase flips
+  SimTime burst_ns_ = 0.0;
+};
+
+}  // namespace algas::sim

@@ -86,6 +86,15 @@ struct CostModel {
   /// (§V-B: "private IO streams ... retrieves results sequentially through
   /// the stream"). Paid once per completed query.
   double host_io_submit_ns = 1200.0;
+  /// Shedding one expired query at the queue head (deadline bookkeeping +
+  /// caller notification). Paid by a host worker per query it drops at
+  /// dispatch time instead of filling a slot.
+  double host_shed_ns = 150.0;
+  /// Evicting one finished-past-deadline slot: marking the states Expired
+  /// is charged through StateSync like any transition; this is the
+  /// bookkeeping of discarding the result block WITHOUT the fetch/merge
+  /// the Done path would have paid.
+  double host_evict_ns = 200.0;
 
   // --- Per-query CTA lifecycle -------------------------------------------
   /// Fixed CTA start-of-query cost (loading the query into shared memory,

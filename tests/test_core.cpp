@@ -25,6 +25,7 @@ TEST(Slot, StateNames) {
   EXPECT_STREQ(slot_state_name(SlotState::kFinish), "Finish");
   EXPECT_STREQ(slot_state_name(SlotState::kDone), "Done");
   EXPECT_STREQ(slot_state_name(SlotState::kQuit), "Quit");
+  EXPECT_STREQ(slot_state_name(SlotState::kExpired), "Expired");
 }
 
 TEST(Slot, Fig5TransitionsLegal) {
@@ -34,6 +35,11 @@ TEST(Slot, Fig5TransitionsLegal) {
   EXPECT_TRUE(is_legal_transition(SlotState::kDone, SlotState::kWork));
   EXPECT_TRUE(is_legal_transition(SlotState::kDone, SlotState::kQuit));
   EXPECT_TRUE(is_legal_transition(SlotState::kNone, SlotState::kQuit));
+  // Serving extension: eviction of a past-deadline query at completion
+  // detection. Expired behaves like Done for its outgoing edges.
+  EXPECT_TRUE(is_legal_transition(SlotState::kFinish, SlotState::kExpired));
+  EXPECT_TRUE(is_legal_transition(SlotState::kExpired, SlotState::kWork));
+  EXPECT_TRUE(is_legal_transition(SlotState::kExpired, SlotState::kQuit));
 }
 
 TEST(Slot, IllegalTransitionsRejected) {
@@ -42,21 +48,32 @@ TEST(Slot, IllegalTransitionsRejected) {
   EXPECT_FALSE(is_legal_transition(SlotState::kFinish, SlotState::kWork));
   EXPECT_FALSE(is_legal_transition(SlotState::kQuit, SlotState::kWork));
   EXPECT_FALSE(is_legal_transition(SlotState::kNone, SlotState::kFinish));
+  // A running CTA cannot be preempted: expiry happens only at completion
+  // detection (Finish), never out of Work, and never re-enters Done.
+  EXPECT_FALSE(is_legal_transition(SlotState::kWork, SlotState::kExpired));
+  EXPECT_FALSE(is_legal_transition(SlotState::kNone, SlotState::kExpired));
+  EXPECT_FALSE(is_legal_transition(SlotState::kDone, SlotState::kExpired));
+  EXPECT_FALSE(is_legal_transition(SlotState::kExpired, SlotState::kDone));
+  EXPECT_FALSE(is_legal_transition(SlotState::kExpired, SlotState::kFinish));
 }
 
 TEST(Slot, TransitionMatrixExhaustive) {
-  // All 25 (from, to) pairs against the Fig 5 edge list: exactly the six
-  // protocol edges are legal, everything else (self-loops included) is not.
-  const SlotState all[] = {SlotState::kNone, SlotState::kWork,
-                           SlotState::kFinish, SlotState::kDone,
-                           SlotState::kQuit};
+  // All 36 (from, to) pairs against the Fig 5 edge list (+ the serving
+  // Expired extension): exactly the nine protocol edges are legal,
+  // everything else (self-loops included) is not.
+  const SlotState all[] = {SlotState::kNone,    SlotState::kWork,
+                           SlotState::kFinish,  SlotState::kDone,
+                           SlotState::kQuit,    SlotState::kExpired};
   auto fig5 = [](SlotState from, SlotState to) {
     return (from == SlotState::kNone && to == SlotState::kWork) ||
            (from == SlotState::kWork && to == SlotState::kFinish) ||
            (from == SlotState::kFinish && to == SlotState::kDone) ||
            (from == SlotState::kDone && to == SlotState::kWork) ||
            (from == SlotState::kDone && to == SlotState::kQuit) ||
-           (from == SlotState::kNone && to == SlotState::kQuit);
+           (from == SlotState::kNone && to == SlotState::kQuit) ||
+           (from == SlotState::kFinish && to == SlotState::kExpired) ||
+           (from == SlotState::kExpired && to == SlotState::kWork) ||
+           (from == SlotState::kExpired && to == SlotState::kQuit);
   };
   int legal = 0;
   for (SlotState from : all) {
@@ -66,17 +83,18 @@ TEST(Slot, TransitionMatrixExhaustive) {
       legal += is_legal_transition(from, to) ? 1 : 0;
     }
   }
-  EXPECT_EQ(legal, 6);
+  EXPECT_EQ(legal, 9);
 }
 
 TEST(Slot, Fig9SingleWriterOwnership) {
   // The side allowed to transition a word OUT of each state: host owns
-  // None/Finish/Done, the device owns Work, Quit is terminal.
+  // None/Finish/Done/Expired, the device owns Work, Quit is terminal.
   EXPECT_EQ(state_owner(SlotState::kNone), Side::kHost);
   EXPECT_EQ(state_owner(SlotState::kWork), Side::kDevice);
   EXPECT_EQ(state_owner(SlotState::kFinish), Side::kHost);
   EXPECT_EQ(state_owner(SlotState::kDone), Side::kHost);
   EXPECT_EQ(state_owner(SlotState::kQuit), Side::kNone);
+  EXPECT_EQ(state_owner(SlotState::kExpired), Side::kHost);
   EXPECT_STREQ(side_name(Side::kHost), "host");
   EXPECT_STREQ(side_name(Side::kDevice), "device");
   EXPECT_STREQ(side_name(Side::kNone), "none");
@@ -341,6 +359,76 @@ TEST(ProtocolChecker, IllegalHostTransitionReportsBeforeSideEffects) {
   EXPECT_EQ(cs.ch.counters(sim::Xfer::kStateWrite).transactions,
             writes_before)
       << "an illegal write must not issue its write-through";
+}
+
+TEST(ProtocolChecker, ExpiredLifecycleRunsClean) {
+  // The serving eviction path: Work -> Finish -> Expired (host evicts a
+  // past-deadline query), then the slot is reused (Expired -> Work) and
+  // finally retired (Expired -> Quit). All legal; finalize stays clean.
+  for (bool mirrored : {false, true}) {
+    CheckedSync cs(1, 1, mirrored);
+    double e = 0.0;
+    double t = 0.0;
+    cs.sync.host_write(t, 0, 0, SlotState::kWork, &e);
+    cs.sync.device_write(t += 10, 0, 0, SlotState::kFinish, &e);
+    cs.sync.host_write(t += 10, 0, 0, SlotState::kExpired, &e);
+    cs.sync.host_write(t += 10, 0, 0, SlotState::kWork, &e);
+    cs.sync.device_write(t += 10, 0, 0, SlotState::kFinish, &e);
+    cs.sync.host_write(t += 10, 0, 0, SlotState::kExpired, &e);
+    cs.sync.host_write(t += 10, 0, 0, SlotState::kQuit, &e);
+    cs.protocol.expect_full_drain(true);
+    EXPECT_NO_THROW(cs.protocol.finalize(t + 10));
+    EXPECT_EQ(cs.check.violations(), 0u);
+  }
+}
+
+TEST(ProtocolChecker, DevicePreemptionToExpiredIsIllegalTransition) {
+  // Mutation: the device tries to expire a RUNNING query (Work -> Expired).
+  // Work is device-owned so ownership passes, but preemption is not a
+  // protocol edge — eviction may only happen at completion detection.
+  CheckedSync cs(1, 1, /*mirrored=*/true);
+  double e = 0.0;
+  cs.sync.host_write(0.0, 0, 0, SlotState::kWork, &e);
+  const std::string report = violation_report(
+      [&] { cs.sync.device_write(10.0, 0, 0, SlotState::kExpired, &e); },
+      "illegal-transition");
+  EXPECT_NE(report.find("Fig 5 permits"), std::string::npos) << report;
+  EXPECT_EQ(cs.sync.peek(0, 0), SlotState::kWork)
+      << "the illegal write must report before mutating the word";
+}
+
+TEST(ProtocolChecker, ExpiredToDoneIsIllegalTransition) {
+  // Mutation: the host tries to "un-evict" (Expired -> Done). Expired is
+  // host-owned so ownership passes; the edge itself is not in the matrix
+  // (an evicted query's results never reach the collector as served).
+  CheckedSync cs(1, 1, /*mirrored=*/true);
+  double e = 0.0;
+  cs.sync.host_write(0.0, 0, 0, SlotState::kWork, &e);
+  cs.sync.device_write(10.0, 0, 0, SlotState::kFinish, &e);
+  cs.sync.host_write(20.0, 0, 0, SlotState::kExpired, &e);
+  const std::string report = violation_report(
+      [&] { cs.sync.host_write(30.0, 0, 0, SlotState::kDone, &e); },
+      "illegal-transition");
+  EXPECT_NE(report.find("Fig 5 permits"), std::string::npos) << report;
+  EXPECT_EQ(cs.sync.peek(0, 0), SlotState::kExpired);
+}
+
+TEST(ProtocolChecker, DeviceWriteOutOfExpiredIsRace) {
+  // Mutation: Expired is host-owned (like Done, the host decides whether
+  // the slot is reused or retired); a device Expired -> Work write is a
+  // Fig 9 single-writer race even though the edge itself is legal.
+  CheckedSync cs(1, 1, /*mirrored=*/true);
+  double e = 0.0;
+  cs.sync.host_write(0.0, 0, 0, SlotState::kWork, &e);
+  cs.sync.device_write(10.0, 0, 0, SlotState::kFinish, &e);
+  cs.sync.host_write(20.0, 0, 0, SlotState::kExpired, &e);
+  const std::string report = violation_report(
+      [&] { cs.sync.device_write(30.0, 0, 0, SlotState::kWork, &e); },
+      "ownership");
+  EXPECT_NE(report.find("Fig 9 ownership violation"), std::string::npos)
+      << report;
+  EXPECT_EQ(cs.sync.peek(0, 0), SlotState::kExpired);
+  EXPECT_EQ(cs.check.violations(), 1u);
 }
 
 TEST(ProtocolChecker, MirroredPollCrossingChannelIsConservationViolation) {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/stats.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/recall.hpp"
 #include "metrics/table.hpp"
@@ -192,6 +193,104 @@ TEST(Collector, MergeFromEmptyAndIntoEmpty) {
   a.merge(Collector{});   // from empty
   ASSERT_EQ(a.size(), 1u);
   EXPECT_EQ(a.records()[0].query_index, 7u);
+}
+
+QueryRecord disposed_record(std::size_t idx, double arrival, double done,
+                            Disposition d, double deadline) {
+  QueryRecord r = make_record(idx, arrival, arrival, done, 10);
+  r.disposition = d;
+  r.deadline_ns = deadline;
+  return r;
+}
+
+TEST(Collector, SummarizeMixedDispositions) {
+  // One of each outcome. Counting rules under test: distributions cover
+  // served queries only, every record counts toward span/shed_rate, and
+  // goodput counts only served-AND-in-deadline completions.
+  Collector c;
+  c.add(disposed_record(0, 0.0, 1000.0, Disposition::kServed, 2000.0));
+  c.add(disposed_record(1, 100.0, 4000.0, Disposition::kServed, 2000.0));
+  c.add(disposed_record(2, 200.0, 300.0, Disposition::kShedQueue, 2000.0));
+  c.add(disposed_record(3, 300.0, 400.0, Disposition::kShedDeadline, 350.0));
+  c.add(disposed_record(4, 400.0, 2000.0, Disposition::kEvicted, 1800.0));
+  const auto s = c.summarize();
+  EXPECT_EQ(s.queries, 5u);
+  EXPECT_EQ(s.served, 2u);
+  EXPECT_EQ(s.shed_queue, 1u);
+  EXPECT_EQ(s.shed_deadline, 1u);
+  EXPECT_EQ(s.evicted, 1u);
+  // q1 finished past its deadline; sheds/evictions never meet theirs.
+  EXPECT_EQ(s.deadline_misses, 4u);
+  EXPECT_DOUBLE_EQ(s.deadline_miss_rate, 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.shed_rate, 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.span_ns, 4000.0);  // first arrival 0 -> last done 4000
+  EXPECT_DOUBLE_EQ(s.throughput_qps, 2.0 * 1e9 / 4000.0);
+  EXPECT_DOUBLE_EQ(s.goodput_qps, 1.0 * 1e9 / 4000.0);  // only q0 in time
+  // Latency stats are over the two served records (1.0us and 3.9us).
+  EXPECT_DOUBLE_EQ(s.mean_latency_us, (1.0 + 3.9) / 2.0);
+  EXPECT_EQ(c.sorted_latencies_us().size(), 2u);
+  EXPECT_EQ(c.sorted_service_us().size(), 2u);
+}
+
+TEST(Collector, AllShedSummaryHasNoDistributions) {
+  Collector c;
+  c.add(disposed_record(0, 0.0, 100.0, Disposition::kShedQueue, 50.0));
+  c.add(disposed_record(1, 10.0, 200.0, Disposition::kShedDeadline, 60.0));
+  const auto s = c.summarize();
+  EXPECT_EQ(s.served, 0u);
+  EXPECT_DOUBLE_EQ(s.shed_rate, 1.0);
+  EXPECT_DOUBLE_EQ(s.goodput_qps, 0.0);
+  EXPECT_DOUBLE_EQ(s.throughput_qps, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_latency_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.p999_latency_us, 0.0);
+  EXPECT_TRUE(c.sorted_latencies_us().empty());
+}
+
+TEST(Collector, MergePreservesDispositionCounts) {
+  Collector a;
+  a.add(disposed_record(0, 0.0, 1000.0, Disposition::kServed, 2000.0));
+  a.add(disposed_record(1, 50.0, 90.0, Disposition::kShedQueue, 500.0));
+  Collector b;
+  b.add(disposed_record(2, 100.0, 3000.0, Disposition::kEvicted, 900.0));
+  a.merge(b);
+  const auto s = a.summarize();
+  EXPECT_EQ(s.queries, 3u);
+  EXPECT_EQ(s.served, 1u);
+  EXPECT_EQ(s.shed_queue, 1u);
+  EXPECT_EQ(s.evicted, 1u);
+  EXPECT_DOUBLE_EQ(s.shed_rate, 2.0 / 3.0);
+}
+
+// ---------------- stats.hpp (Histogram) ----------------
+
+TEST(Histogram, MergeSumsUnderflowAndOverflow) {
+  // Regression: out-of-range counts must survive a merge — per-shard
+  // latency histograms carry their tails through the gather.
+  Histogram a(0.0, 10.0, 2);
+  a.add(-1.0);           // underflow
+  a.add(5.0);            // bin 1
+  Histogram b(0.0, 10.0, 2);
+  b.add(-2.0);           // underflow
+  b.add(12.0);           // overflow
+  b.add(99.0);           // overflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.underflow(), 2u);
+  EXPECT_EQ(a.overflow(), 2u);
+  EXPECT_EQ(a.bin_count(0), 0u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+  // Out-of-range rows must also surface in the TSV dump.
+  const std::string tsv = a.to_tsv();
+  EXPECT_NE(tsv.find("-inf"), std::string::npos) << tsv;
+  EXPECT_NE(tsv.find("inf"), std::string::npos) << tsv;
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry) {
+  Histogram a(0.0, 10.0, 2);
+  Histogram bins(0.0, 10.0, 4);
+  Histogram range(0.0, 20.0, 2);
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
 }
 
 // ---------------- table.hpp ----------------

@@ -31,6 +31,17 @@
 //                    in place; both files must travel together)
 //   algas_cli delete --dataset ds.abin --index idx.amx --ids 3,17,42
 //                    [--compact 1] [--out-index ...] [--out-dataset ...]
+//   algas_cli serve  --dataset ds.abin [--arrival poisson|bursty]
+//                    [--rate 1000] [--burst-rate 0] [--deadline-us 0]
+//                    [--capacity N] [--policy reject|drop-oldest]
+//                    [--high-priority 0.0] [--queries N] [--seed 1]
+//                    [--shards 1] [--topk 16] [--list 128] [--slots 16]
+//                    [--nparallel 4] [--beam 4] [--hosts 1]
+//                    [--degree 32] [--ef 64] [--threads N]
+//                    (open-loop run: queries arrive on the generated
+//                    schedule; --capacity bounds the host queue and
+//                    --deadline-us sheds/evicts late queries. Per-shard
+//                    graphs are built from the construction flags.)
 //
 // Flag precedence follows the repo-wide rule (common/env.hpp): an explicit
 // CLI flag wins, then the ALGAS_* environment variable, then the compiled
@@ -86,6 +97,12 @@ class Args {
                      it->second.c_str(), nullptr, 10));
   }
 
+  double get_double(const std::string& key, double dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };
@@ -111,6 +128,18 @@ void apply_storage(Dataset& ds, const Args& args) {
   const std::string codec =
       args.get_or("storage", RuntimeOptions::from_env().storage);
   ds.set_storage(parse_storage_codec(codec));
+}
+
+sim::ArrivalKind parse_arrival(const std::string& s) {
+  if (s == "poisson") return sim::ArrivalKind::kPoisson;
+  if (s == "bursty") return sim::ArrivalKind::kBursty;
+  throw std::invalid_argument("unknown arrival process: " + s);
+}
+
+core::ShedPolicy parse_policy(const std::string& s) {
+  if (s == "reject") return core::ShedPolicy::kRejectNew;
+  if (s == "drop-oldest") return core::ShedPolicy::kDropOldest;
+  throw std::invalid_argument("unknown shed policy: " + s);
 }
 
 core::HostSync parse_sync(const std::string& s) {
@@ -452,10 +481,74 @@ int cmd_search(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  Dataset ds = load_dataset(args.get("dataset"));
+  apply_storage(ds, args);
+  if (!ds.has_ground_truth()) {
+    std::printf("note: dataset has no ground truth; recall prints as 0 "
+                "(run `algas_cli gt` first)\n");
+  }
+
+  core::ServingConfig cfg;
+  cfg.arrival.kind = parse_arrival(args.get_or("arrival", "poisson"));
+  cfg.arrival.rate_qps = args.get_double("rate", 1000.0);
+  cfg.arrival.burst_rate_qps = args.get_double("burst-rate", 0.0);
+  cfg.arrival.seed = args.get_size("seed", 1);
+  cfg.deadline_us = args.get_double("deadline-us", 0.0);
+  cfg.high_priority_fraction = args.get_double("high-priority", 0.0);
+  cfg.num_queries = args.get_size("queries", 0);
+
+  core::AlgasConfig& base = cfg.sharded.base;
+  base.search.topk = args.get_size("topk", 16);
+  base.search.candidate_len = args.get_size("list", 128);
+  base.search.beam_width = args.get_size("beam", 4);
+  base.slots = args.get_size("slots", 16);
+  base.n_parallel = args.get_size("nparallel", 0);
+  base.host_threads = args.get_size("hosts", 1);
+  base.host_sync = parse_sync(args.get_or("sync", "mirrored"));
+  // An unbounded queue is the closed-loop default; serving mode (the
+  // AdmissionActor front-end) activates only when --capacity is given.
+  base.admission.capacity =
+      args.get_size("capacity", core::kUnboundedQueue);
+  base.admission.policy = parse_policy(args.get_or("policy", "reject"));
+
+  cfg.sharded.shards = args.get_size("shards", 1);
+  cfg.sharded.fanout = args.get_size("fanout", 0);
+  cfg.sharded.router_centroids = args.get_size("router-centroids", 8);
+  cfg.sharded.build = parse_build_config(args);
+
+  core::ServingEngine e(ds, cfg);
+  const core::ServingReport rep = e.run();
+  const metrics::RunSummary& s = rep.sharded.merged.summary;
+  char deadline_buf[32] = "none";
+  if (cfg.deadline_us > 0.0) {
+    std::snprintf(deadline_buf, sizeof deadline_buf, "%.0fus",
+                  cfg.deadline_us);
+  }
+  char queue_buf[32] = "unbounded";
+  if (base.admission.bounded()) {
+    std::snprintf(queue_buf, sizeof queue_buf, "%zu",
+                  base.admission.capacity);
+  }
+  std::printf("workload: %s arrivals, %zu queries, offered %.0f qps, "
+              "deadline %s, queue %s/%s\n",
+              sim::arrival_kind_name(cfg.arrival.kind), rep.arrivals.size(),
+              rep.offered_qps, deadline_buf, queue_buf,
+              core::shed_policy_name(base.admission.policy));
+  print_report("serve", rep.sharded.merged);
+  std::printf("serving: goodput %.0f qps | shed %.1f%% (%zu queue, %zu "
+              "deadline, %zu evicted) | deadline miss %.1f%% | latency "
+              "p99 %.1fus p999 %.1fus\n",
+              rep.goodput_qps, 100.0 * rep.shed_rate, s.shed_queue,
+              s.shed_deadline, s.evicted, 100.0 * rep.deadline_miss_rate,
+              rep.p99_latency_us, rep.p999_latency_us);
+  return 0;
+}
+
 void usage() {
   std::printf(
-      "usage: algas_cli <gen|gt|import|build|stats|search|insert|delete> "
-      "--key value ...\n"
+      "usage: algas_cli <gen|gt|import|build|stats|search|insert|delete|"
+      "serve> --key value ...\n"
       "see the header comment of tools/algas_cli.cpp for full flag lists\n");
 }
 
@@ -477,6 +570,7 @@ int main(int argc, char** argv) {
     if (cmd == "search") return cmd_search(args);
     if (cmd == "insert") return cmd_insert(args);
     if (cmd == "delete") return cmd_delete(args);
+    if (cmd == "serve") return cmd_serve(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

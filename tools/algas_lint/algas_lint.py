@@ -14,6 +14,12 @@ dynamic ProtocolChecker / byte-identity tests:
                   BuildReport wall timing). Virtual time comes from
                   Simulation; host clocks may only feed wall-clock
                   *reporting*, never results.
+  deadline-clock  any host-clock read inside scheduler code (src/core/,
+                  src/simgpu/). Deadline comparisons and arrival timing
+                  must use Simulation virtual time — a wall-clock deadline
+                  would make shed/evict decisions nondeterministic. Unlike
+                  wall-clock this rule has NO file allowlist: scheduler
+                  code never gets a pass.
   unordered-iter  iteration over a std::unordered_map/set without an
                   adjacent `// lint: ordered` justification. Hash-order
                   iteration is libc++/libstdc++-dependent and must never
@@ -70,8 +76,15 @@ ALLOW = {
         # scatter-gather hot loop for its distance_evals_per_s gate.
         "bench/bench_walltime.cpp",
         "bench/bench_shard.cpp",
+        # bench_serving times its host-side sweep loop for the
+        # serving_distance_evals_per_s gate, same pattern as bench_shard.
+        "bench/bench_serving.cpp",
         "src/graph/builder.cpp",
     },
+    # deadline-clock deliberately has NO entries: scheduler code (src/core/,
+    # src/simgpu/) must never read a host clock, and adding a file to the
+    # wall-clock allowlist must not quiet this rule there.
+    "deadline-clock": set(),
     "raw-getenv": {"src/common/env.cpp"},
     "env-knob": {
         "src/common/env.cpp",
@@ -83,6 +96,8 @@ ALLOW = {
 RULES = {
     "raw-rng": "nondeterministic RNG outside common/rng.hpp",
     "wall-clock": "host clock outside the wall-clock allowlist",
+    "deadline-clock": "host clock inside scheduler code (src/core, "
+                      "src/simgpu) — deadlines run on virtual time",
     "unordered-iter": "hash-order iteration without `// lint: ordered`",
     "raw-getenv": "raw std::getenv outside common/env.cpp",
     "env-knob": "ALGAS_* env read outside RuntimeOptions::from_env()",
@@ -192,14 +207,21 @@ class SourceFile:
 # Simple pattern rules.
 # --------------------------------------------------------------------------
 
+_WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:steady_|system_|high_resolution_)clock::now\s*\("
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+    r"|(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)?\s*\)"
+    r"|(?<![\w:.>])clock\s*\(\s*\)")
+
+# Scheduler code: deadline/arrival decisions live here and run on virtual
+# time only, so ANY host-clock read is a deadline-clock violation.
+_DEADLINE_CLOCK_DIRS = ("src/core/", "src/simgpu/")
+
 _PAT_RULES = [
     ("raw-rng", re.compile(
         r"std::random_device|\bsrand\s*\(|(?<![\w:])rand\s*\(|std::mt19937")),
-    ("wall-clock", re.compile(
-        r"std::chrono::(?:steady_|system_|high_resolution_)clock::now\s*\("
-        r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
-        r"|(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)?\s*\)"
-        r"|(?<![\w:.>])clock\s*\(\s*\)")),
+    ("wall-clock", _WALL_CLOCK_RE),
+    ("deadline-clock", _WALL_CLOCK_RE),
     ("raw-getenv", re.compile(r"(?:\bstd::|(?<![\w:.>]))getenv\s*\(")),
     ("pointer-key", re.compile(
         r"std::(?:unordered_)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*"
@@ -216,6 +238,9 @@ def _check_patterns(sf: SourceFile) -> list[Violation]:
     out = []
     for rule, pat in _PAT_RULES:
         if sf.rel in ALLOW.get(rule, ()):  # whole-file allowlist
+            continue
+        if (rule == "deadline-clock"
+                and not sf.rel.startswith(_DEADLINE_CLOCK_DIRS)):
             continue
         for idx, line in enumerate(sf.lines, start=1):
             m = pat.search(line)
@@ -620,8 +645,15 @@ def self_test(fixture_dir: str) -> int:
     its first line; the fixture must trip exactly those rules."""
     expect_re = re.compile(r"//\s*expect-lint:\s*(.+)")
     failures = 0
-    names = sorted(fn for fn in os.listdir(fixture_dir)
-                   if fn.endswith(EXTS))
+    # Walk, don't listdir: path-scoped rules (deadline-clock) need fixtures
+    # that live at the guarded path, e.g. fixtures/src/core/<name>.cpp.
+    names = []
+    for dirpath, _dirnames, filenames in os.walk(fixture_dir):
+        for fn in filenames:
+            if fn.endswith(EXTS):
+                rel = os.path.relpath(os.path.join(dirpath, fn), fixture_dir)
+                names.append(rel.replace(os.sep, "/"))
+    names.sort()
     if not names:
         print(f"algas_lint: no fixtures in {fixture_dir}", file=sys.stderr)
         return 2

@@ -1,0 +1,13 @@
+// expect-lint: wall-clock deadline-clock
+// Seeded violation: scheduler code comparing a deadline against the HOST
+// clock. Deadline/arrival decisions must use Simulation virtual time —
+// otherwise which queries shed depends on machine speed, breaking the
+// deterministic-replay guarantee. Trips both the generic wall-clock rule
+// and the unallowlistable deadline-clock rule (this file sits under
+// src/core/).
+#include <chrono>
+
+bool past_deadline(double deadline_ns) {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<double>(now.count()) > deadline_ns;
+}
