@@ -4,9 +4,10 @@
 // Per dataset the bench first calibrates a closed-loop saturation
 // throughput (unbounded queue, no deadlines), then sweeps an open-loop
 // Poisson arrival process from underload to 2x saturation — plus a bursty
-// MMPP point at saturation — against a bounded host queue (4x slots,
-// reject-new) and a per-query deadline pinned at 8x the calibrated p99
-// service latency. The headline claim this bench gates is GRACEFUL
+// MMPP point at saturation — against a bounded host queue (kCapacity
+// entries, reject-new) and a per-query deadline pinned at kDeadlineP99Mult
+// times the calibrated p99 service latency. The headline claim this bench
+// gates is GRACEFUL
 // degradation: past saturation the engine sheds load at admission and
 // evicts expired slots instead of collapsing, so goodput at 2x offered
 // load stays within a constant factor of the peak instead of cliffing to

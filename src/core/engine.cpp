@@ -85,6 +85,7 @@ metrics::QueryRecord shed_record(const PendingQuery& q, SimTime when,
                                  metrics::Disposition why) {
   metrics::QueryRecord rec;
   rec.query_index = q.query_index;
+  rec.slot = metrics::QueryRecord::kNoSlot;  // never occupied one
   rec.arrival_ns = q.arrival_ns;
   rec.dispatch_ns = when;
   rec.gpu_done_ns = when;
@@ -448,6 +449,13 @@ void HostWorker::fetch_and_complete(sim::Simulation& sim, std::size_t slot,
   rec.dispatch_ns = rt.dispatch_ns;
   rec.gpu_done_ns = rt.gpu_done_ns;
   rec.done_ns = sim.now() + *elapsed;
+  // Deadline/priority travel on every record, served included: the eviction
+  // check above ran BEFORE the fetch/transfer/merge costs were charged, so a
+  // served query can still land past a finite deadline — in_deadline() must
+  // see the real deadline to count it as a miss (the K>1 MergeActor path
+  // already stamps these; K=1 must agree on goodput/miss accounting).
+  rec.deadline_ns = rt.deadline_ns;
+  rec.priority = rt.priority;
   rec.steps = rt.steps;
   rec.rounds = rt.rounds;
   rec.scored_points = rt.scored;

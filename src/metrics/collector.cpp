@@ -1,6 +1,7 @@
 #include "metrics/collector.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace algas::metrics {
 
@@ -53,6 +54,10 @@ RunSummary Collector::summarize() const {
       case Disposition::kEvicted: ++s.evicted; break;
     }
     if (r.in_deadline()) ++in_deadline;
+    // A miss requires a deadline to miss: shed/evicted/late-served queries
+    // with a FINITE deadline count; a query shed from a run with deadlines
+    // disabled (infinite) is a shed, not a deadline miss.
+    if (!r.in_deadline() && std::isfinite(r.deadline_ns)) ++s.deadline_misses;
     if (!r.served()) continue;
     latency.add(r.latency_ns() / 1000.0);
     service.add(r.service_ns() / 1000.0);
@@ -62,7 +67,6 @@ RunSummary Collector::summarize() const {
     other_ns += r.gpu_cost.select_ns + r.gpu_cost.gather_ns;
   }
   s.span_ns = last_done - first_arrival;
-  s.deadline_misses = s.queries - in_deadline;
   if (s.span_ns > 0.0) {
     s.throughput_qps = static_cast<double>(s.served) * 1e9 / s.span_ns;
     s.goodput_qps = static_cast<double>(in_deadline) * 1e9 / s.span_ns;

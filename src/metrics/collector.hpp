@@ -29,8 +29,15 @@ enum class Disposition : std::uint8_t {
 const char* disposition_name(Disposition d);
 
 struct QueryRecord {
+  /// Sentinel for `slot`: the query never occupied a slot (it was shed at
+  /// admission or expired in the host queue before dispatch).
+  static constexpr std::size_t kNoSlot =
+      std::numeric_limits<std::size_t>::max();
+
   std::size_t query_index = 0;
-  std::size_t slot = 0;       ///< slot (dynamic) or batch index (static)
+  /// Slot (dynamic), batch index (static), or shard fanout (sharded merge);
+  /// kNoSlot when the query was shed before ever occupying one.
+  std::size_t slot = 0;
   SimTime arrival_ns = 0.0;   ///< when the query entered the system
   SimTime dispatch_ns = 0.0;  ///< when a slot/batch picked it up
   SimTime gpu_done_ns = 0.0;  ///< when the query's last CTA finished

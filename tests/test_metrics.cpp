@@ -246,6 +246,23 @@ TEST(Collector, AllShedSummaryHasNoDistributions) {
   EXPECT_TRUE(c.sorted_latencies_us().empty());
 }
 
+TEST(Collector, InfiniteDeadlineShedIsNotADeadlineMiss) {
+  // A bounded-queue run with deadlines disabled sheds on capacity, not on
+  // time: those records carry the infinite default deadline and must not
+  // inflate deadline_miss_rate. A served-but-late record with a finite
+  // deadline still counts.
+  const double inf = std::numeric_limits<double>::infinity();
+  Collector c;
+  c.add(disposed_record(0, 0.0, 100.0, Disposition::kShedQueue, inf));
+  c.add(disposed_record(1, 0.0, 1000.0, Disposition::kServed, inf));
+  c.add(disposed_record(2, 0.0, 2000.0, Disposition::kServed, 1500.0));
+  const auto s = c.summarize();
+  EXPECT_EQ(s.deadline_misses, 1u);  // only q2: finite deadline, done late
+  EXPECT_DOUBLE_EQ(s.deadline_miss_rate, 1.0 / 3.0);
+  EXPECT_EQ(s.shed_queue, 1u);
+  EXPECT_DOUBLE_EQ(s.shed_rate, 1.0 / 3.0);
+}
+
 TEST(Collector, MergePreservesDispositionCounts) {
   Collector a;
   a.add(disposed_record(0, 0.0, 1000.0, Disposition::kServed, 2000.0));

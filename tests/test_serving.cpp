@@ -334,6 +334,7 @@ TEST(EngineServing, DeadlineEqualToArrivalShedsEverything) {
   for (const auto& r : rep.collector.records()) {
     EXPECT_EQ(r.disposition, metrics::Disposition::kShedDeadline);
     EXPECT_TRUE(r.results.empty());
+    EXPECT_EQ(r.slot, metrics::QueryRecord::kNoSlot);
   }
 }
 
@@ -359,6 +360,7 @@ TEST(EngineServing, TinyQueueShedsBurstButServesSome) {
     EXPECT_TRUE(seen.insert(r.query_index).second);
     if (r.disposition == metrics::Disposition::kShedQueue) {
       EXPECT_TRUE(r.results.empty());
+      EXPECT_EQ(r.slot, metrics::QueryRecord::kNoSlot);
     }
   }
   EXPECT_EQ(seen.size(), 40u);
@@ -389,6 +391,57 @@ TEST(EngineServing, TightDeadlineEvictsFinishedWork) {
     EXPECT_TRUE(r.results.empty());
     EXPECT_GT(r.scored_points, 0u);
     EXPECT_GE(r.gpu_done_ns, r.dispatch_ns);
+  }
+}
+
+TEST(EngineServing, DeadlineExpiringDuringFetchIsAServedMiss) {
+  // The Finish -> Done decision runs BEFORE the fetch/transfer/merge costs
+  // are charged, so a deadline can expire between completion detection and
+  // delivery. Such a query still serves (the slot was already committed to
+  // the fetch) but must carry its real deadline on the record and count as
+  // a deadline miss — this is the K=1 goodput accounting the serving gate
+  // measures, and it must agree with the K>1 MergeActor stamping.
+  //
+  // Construction: calibrate with infinite deadlines, then pin each query's
+  // deadline an epsilon short of its calibrated done_ns. A deadline in the
+  // detection->delivery window changes no scheduling decision (dispatch
+  // and eviction checks both pass), so the timed run replays the
+  // calibration byte-identically and the deadline lands in that window by
+  // construction (the fetch path costs at least host_io_submit_ns = 1200ns
+  // >> epsilon).
+  const auto& world = algas::testing::tiny_world();
+  const std::size_t n = 10;
+  const auto calib_arrivals =
+      spaced_arrivals(n, 10.0 * tiny_p50_service_ns());
+  AlgasEngine calib(world.ds, world.nsw, tiny_serving_config());
+  const auto ref = calib.run(calib_arrivals);
+  ASSERT_EQ(ref.summary.served, n);
+
+  std::vector<double> done_of(n, 0.0);
+  for (const auto& r : ref.collector.records()) {
+    done_of[r.query_index] = r.done_ns;
+  }
+  auto arrivals = calib_arrivals;
+  for (auto& q : arrivals) {
+    q.priority = 2;  // must round-trip onto the served record too
+    q.deadline_ns = done_of[q.query_index] - 1.0;
+    ASSERT_GT(q.deadline_ns, q.arrival_ns);
+  }
+  AlgasEngine e(world.ds, world.nsw, tiny_serving_config());
+  const auto rep = e.run(arrivals);
+  EXPECT_EQ(rep.summary.served, n);  // nothing shed, nothing evicted
+  EXPECT_EQ(rep.summary.evicted, 0u);
+  EXPECT_EQ(rep.summary.deadline_misses, n);
+  EXPECT_DOUBLE_EQ(rep.summary.deadline_miss_rate, 1.0);
+  EXPECT_DOUBLE_EQ(rep.summary.goodput_qps, 0.0);
+  EXPECT_GT(rep.summary.throughput_qps, 0.0);
+  for (const auto& r : rep.collector.records()) {
+    ASSERT_TRUE(r.served());
+    EXPECT_TRUE(std::isfinite(r.deadline_ns)) << "deadline not stamped";
+    EXPECT_EQ(r.priority, 2);
+    EXPECT_GT(r.done_ns, r.deadline_ns);
+    EXPECT_FALSE(r.in_deadline());
+    EXPECT_FALSE(r.results.empty());
   }
 }
 
