@@ -1,0 +1,307 @@
+// bench_filtered — the filtered-search recall gate.
+//
+// Sweeps predicate selectivity over four tiers (0.1%, 1%, 10%, 50% of the
+// base rows accepted, timestamp-threshold bitsets with exact row counts)
+// and grades two strategies against predicate-restricted exact ground
+// truth:
+//
+//   graph       filter-during-search: the ALGAS engine with the predicate
+//               wired into SearchConfig::accept. Rejected rows still ROUTE
+//               (the traversal crosses them) but never surface; the engine
+//               widens candidate_len by ~1/selectivity (capped 8x, see
+//               search::widen_for_selectivity) so survivors fill the TopK.
+//   postfilter  the classic IVF baseline: fetch an oversized unfiltered
+//               TopK (k/selectivity, capped), drop rejected rows, keep 10.
+//               At low selectivity the fetch cap starves it — the effect
+//               the paper's graph-side filtering avoids.
+//
+// The JSON also carries an FNV-1a checksum over the attribute arrays and
+// over the null-predicate variant's full result lists. CI runs the bench
+// at ALGAS_FILTERED_HOSTS=1 and =4 and byte-compares the files: filtered
+// search must not depend on host thread count, and a null predicate must
+// reproduce the unfiltered engine bit for bit. The bench exits nonzero
+// unless graph >= postfilter recall at one tier or more.
+//
+// Knobs (environment, same semantics as the other benches):
+//   ALGAS_SCALE          dataset size multiplier (CI gate uses 0.05)
+//   ALGAS_QUERIES        queries per variant (CI: 40)
+//   ALGAS_DATASETS       first listed name is the gate dataset
+//   ALGAS_FILTERED_OUT   output JSON path (default "BENCH_filtered.json")
+//   ALGAS_FILTERED_HOSTS host worker threads in the engine (default 1)
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/ivf.hpp"
+#include "common/env.hpp"
+#include "core/engine.hpp"
+#include "dataset/ground_truth.hpp"
+#include "dataset/registry.hpp"
+#include "dataset/synthetic.hpp"
+#include "graph/builder.hpp"
+#include "metrics/recall.hpp"
+#include "search/accept.hpp"
+
+using namespace algas;
+
+namespace {
+
+constexpr std::size_t kTopk = 10;
+constexpr double kTiers[] = {0.001, 0.01, 0.1, 0.5};
+const char* kTierNames[] = {"0.1pct", "1pct", "10pct", "50pct"};
+
+/// The recall_gate configuration (topk 10), shared with bench_churn.
+core::AlgasConfig gate_config(std::size_t hosts) {
+  core::AlgasConfig cfg;
+  cfg.search.topk = kTopk;
+  cfg.search.candidate_len = 128;
+  cfg.search.beam_width = 4;
+  cfg.search.offset_beam = 24;
+  cfg.slots = 16;
+  cfg.host_threads = hosts;
+  cfg.n_parallel = 4;
+  cfg.host_sync = core::HostSync::kPollMirrored;
+  return cfg;
+}
+
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+};
+
+std::uint64_t attribute_checksum(const Dataset& ds) {
+  Fnv f;
+  f.mix(ds.num_base());
+  for (const std::uint32_t c : ds.categories()) f.mix(c);
+  for (const std::uint32_t t : ds.timestamps()) f.mix(t);
+  return f.h;
+}
+
+/// Fingerprint of every served result list: (query, id, distance bits),
+/// canonicalized by query index — the collector stores completion order,
+/// which legitimately varies with host thread count, while each query's
+/// RESULTS must not. The checksum doubles as a byte-identity pin for the
+/// null-predicate path against the pre-filter engine.
+std::uint64_t results_checksum(const metrics::Collector& col) {
+  std::vector<const metrics::QueryRecord*> recs;
+  recs.reserve(col.records().size());
+  for (const auto& rec : col.records()) recs.push_back(&rec);
+  std::sort(recs.begin(), recs.end(),
+            [](const metrics::QueryRecord* a, const metrics::QueryRecord* b) {
+              return a->query_index < b->query_index;
+            });
+  Fnv f;
+  for (const auto* rec : recs) {
+    f.mix(rec->query_index);
+    for (const KV& kv : rec->results) {
+      f.mix(kv.id());
+      f.mix(std::bit_cast<std::uint32_t>(kv.dist));
+    }
+  }
+  return f.h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Bitset accepting exactly `want` rows: the `want` smallest (timestamp,
+/// id) pairs. Ties break by id, so the accepted set — and everything
+/// downstream — is a pure function of the attribute arrays.
+search::NodeBitset timestamp_tier(const Dataset& ds, std::size_t want) {
+  const auto& ts = ds.timestamps();
+  std::vector<std::pair<std::uint32_t, NodeId>> order(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    order[i] = {ts[i], static_cast<NodeId>(i)};
+  }
+  std::sort(order.begin(), order.end());
+  search::NodeBitset bits(ds.num_base());
+  for (std::size_t i = 0; i < want && i < order.size(); ++i) {
+    bits.set(order[i].second);
+  }
+  return bits;
+}
+
+double mean_recall_against(const std::vector<NodeId>& gt,
+                           const metrics::Collector& col) {
+  double total = 0.0;
+  std::size_t served = 0;
+  for (const auto& rec : col.records()) {
+    if (!rec.served()) continue;
+    ++served;
+    total += metrics::recall_against(
+        {gt.data() + rec.query_index * kTopk, kTopk}, rec.results, kTopk);
+  }
+  return served == 0 ? 0.0 : total / static_cast<double>(served);
+}
+
+struct TierResult {
+  std::size_t accepted = 0;
+  double graph_recall = 0.0;
+  double graph_latency_us = 0.0;
+  std::size_t widened_len = 0;
+  double postfilter_recall = 0.0;
+  std::size_t postfilter_fetch = 0;
+  double postfilter_scanned = 0.0;  ///< mean rows exhaustively scored
+};
+
+}  // namespace
+
+int main() {
+  const RuntimeOptions opts = RuntimeOptions::from_env();
+  std::string raw = opts.datasets;
+  if (raw.empty()) raw = "sift";
+  const std::string ds_name = raw.substr(0, raw.find(','));
+
+  Dataset ds = load_bench_dataset(ds_name);
+  // Cached dataset files may predate attributes; (re)attach explicitly.
+  // Stateless per-row generation means this agrees with what a fresh
+  // generator run would have attached.
+  attach_synthetic_attributes(ds);
+  const std::size_t n = ds.num_base();
+  const std::size_t nq =
+      std::min(opts.queries == 0 ? ds.num_queries() : opts.queries,
+               ds.num_queries());
+
+  BuildConfig build_cfg;  // bench_build_config() values: shared identity
+  build_cfg.degree = 32;
+  build_cfg.ef_construction = 64;
+  const Graph g = build_graph(GraphKind::kNsw, ds, build_cfg).graph;
+
+  baselines::IvfBuildConfig ivf_cfg;  // nlist 0 = sqrt(n) heuristic
+  const baselines::IvfIndex ivf = baselines::IvfIndex::build(ds, ivf_cfg);
+  constexpr std::size_t kNprobe = 8;
+  constexpr std::size_t kFetchCap = 4096;
+
+  std::printf("%s: n=%zu queries=%zu hosts=%zu | ivf nlist=%zu\n",
+              ds_name.c_str(), n, nq, opts.filtered_hosts, ivf.nlist());
+
+  // Null-predicate reference: the unfiltered engine, recall against the
+  // cached exact ground truth, full result lists checksummed. This is the
+  // byte-identity pin — it must match the pre-filter engine exactly.
+  const auto null_rep =
+      core::AlgasEngine(ds, g, gate_config(opts.filtered_hosts))
+          .run_closed_loop(nq);
+  const std::uint64_t null_checksum = results_checksum(null_rep.collector);
+  std::printf("null: recall@10 %.6f | checksum %s\n", null_rep.recall,
+              hex64(null_checksum).c_str());
+
+  const std::size_t n_tiers = std::size(kTiers);
+  std::vector<TierResult> tiers(n_tiers);
+  for (std::size_t t = 0; t < n_tiers; ++t) {
+    TierResult& r = tiers[t];
+    const auto want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(kTiers[t] * static_cast<double>(n) + 0.5));
+    const search::NodeBitset bits = timestamp_tier(ds, want);
+    const search::AcceptPredicate accept(&bits);
+    r.accepted = bits.count();
+
+    const auto gt = compute_filtered_ground_truth(ds, kTopk, accept);
+
+    core::AlgasConfig cfg = gate_config(opts.filtered_hosts);
+    cfg.search.accept = accept;
+    core::AlgasEngine engine(ds, g, cfg);
+    r.widened_len = engine.config().search.candidate_len;
+    const auto rep = engine.run_closed_loop(nq);
+    r.graph_recall = mean_recall_against(gt, rep.collector);
+    r.graph_latency_us = rep.summary.mean_service_us;
+
+    // IVF post-filter: oversized unfiltered fetch, filter, keep 10. The
+    // fetch budget is k/selectivity capped — past the cap the expected
+    // accepted yield drops below k and recall collapses.
+    r.postfilter_fetch = std::min(
+        n, std::min(kFetchCap, kTopk * std::max<std::size_t>(
+                                   1, n / std::max<std::size_t>(want, 1))));
+    r.postfilter_fetch = std::max(r.postfilter_fetch, kTopk);
+    std::size_t scanned_total = 0;
+    double pf_total = 0.0;
+    for (std::size_t q = 0; q < nq; ++q) {
+      const auto out = ivf.search(ds, ds.query(q), kNprobe,
+                                  r.postfilter_fetch);
+      scanned_total += out.scanned;
+      std::vector<KV> kept;
+      kept.reserve(kTopk);
+      for (const KV& kv : out.topk) {
+        if (kv.is_empty() || kept.size() == kTopk) break;
+        if (accept.accepts(kv.id())) kept.push_back(kv);
+      }
+      pf_total += metrics::recall_against({gt.data() + q * kTopk, kTopk},
+                                          kept, kTopk);
+    }
+    r.postfilter_recall = pf_total / static_cast<double>(nq);
+    r.postfilter_scanned =
+        static_cast<double>(scanned_total) / static_cast<double>(nq);
+
+    std::printf("tier %s: accepted %zu/%zu | graph recall@10 %.6f "
+                "(L=%zu, %.1fus) | postfilter recall@10 %.6f (fetch %zu, "
+                "scan %.0f)\n",
+                kTierNames[t], r.accepted, n, r.graph_recall, r.widened_len,
+                r.graph_latency_us, r.postfilter_recall, r.postfilter_fetch,
+                r.postfilter_scanned);
+  }
+
+  std::size_t graph_wins = 0;
+  for (const TierResult& r : tiers) {
+    if (r.graph_recall >= r.postfilter_recall) ++graph_wins;
+  }
+
+  const std::uint64_t attr_checksum = attribute_checksum(ds);
+  const std::string out_path = opts.filtered_out;
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  out.setf(std::ios::fixed);
+  out.precision(10);
+  out << "{\n"
+      << "  \"bench\": \"bench_filtered\",\n"
+      << "  \"dataset\": \"" << ds_name << "\",\n"
+      << "  \"n_base\": " << n << ",\n"
+      << "  \"dim\": " << ds.dim() << ",\n"
+      << "  \"queries\": " << nq << ",\n"
+      << "  \"topk\": " << kTopk << ",\n"
+      << "  \"candidate_len\": 128,\n"
+      << "  \"attr_checksum\": \"" << hex64(attr_checksum) << "\",\n"
+      << "  \"null_results_checksum\": \"" << hex64(null_checksum) << "\",\n"
+      << "  \"graph_wins\": " << graph_wins << ",\n"
+      << "  \"variants\": {\n"
+      << "    \"null\": {\n"
+      << "      \"recall_at_10\": " << null_rep.recall << ",\n"
+      << "      \"mean_latency_us\": " << null_rep.summary.mean_service_us
+      << "\n    }";
+  for (std::size_t t = 0; t < n_tiers; ++t) {
+    const TierResult& r = tiers[t];
+    out << ",\n    \"graph_" << kTierNames[t] << "\": {\n"
+        << "      \"recall_at_10\": " << r.graph_recall << ",\n"
+        << "      \"accepted\": " << r.accepted << ",\n"
+        << "      \"candidate_len\": " << r.widened_len << ",\n"
+        << "      \"mean_latency_us\": " << r.graph_latency_us << "\n    }"
+        << ",\n    \"postfilter_" << kTierNames[t] << "\": {\n"
+        << "      \"recall_at_10\": " << r.postfilter_recall << ",\n"
+        << "      \"fetch\": " << r.postfilter_fetch << ",\n"
+        << "      \"mean_scanned\": " << r.postfilter_scanned << "\n    }";
+  }
+  out << "\n  },\n  \"end\": true\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (graph_wins == 0) {
+    std::fprintf(stderr,
+                 "bench_filtered: FAILED — filter-during-search beat the "
+                 "IVF post-filter at 0 of %zu tiers\n",
+                 n_tiers);
+    return 1;
+  }
+  std::printf("graph >= postfilter at %zu/%zu tiers\n", graph_wins, n_tiers);
+  return 0;
+}

@@ -94,7 +94,8 @@ void BM_HostTopkMerge(benchmark::State& state) {
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        search::merge_sorted_runs(concat, runs, len, 16));
+        search::merge_sorted_runs(concat, runs, len, 16,
+                                  search::AcceptPredicate{}));
   }
 }
 BENCHMARK(BM_HostTopkMerge)->Arg(2)->Arg(4)->Arg(8)->Arg(16);

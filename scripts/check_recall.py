@@ -17,6 +17,15 @@ Two kinds of check:
           same-run reference isolates the entry's own loss (quantization
           error, churn-vs-rebuild gap) from dataset/config drift — config
           drift is caught separately by the exact-match config keys.
+  near    every --near KEY=EPS entry must land within EPS of the
+          BASELINE's same entry (two-sided). This is the right gate for
+          entries with no same-run exact reference — bench_filtered's
+          per-tier recalls are graded against per-predicate ground truth,
+          so they compare to their own committed values, not to f32.
+  pin     every --pin KEY names a TOP-LEVEL scalar (e.g. a result or
+          attribute checksum) that must equal the baseline's exactly.
+          Pins are how byte-identity guarantees get wired into the gate:
+          a checksum drift fails even when every recall still matches.
 
 With no --eps flags and a "codecs" file, the legacy defaults apply:
 f16=0.001 (--f16-eps) and int8=0.01 (--int8-eps), so the existing
@@ -47,6 +56,12 @@ def main() -> int:
     ap.add_argument("--eps", action="append", default=[], metavar="KEY=VAL",
                     help="entry KEY may drop at most VAL below the measured "
                          "--exact entry; repeatable")
+    ap.add_argument("--near", action="append", default=[], metavar="KEY=EPS",
+                    help="entry KEY must land within EPS of the baseline's "
+                         "same entry (two-sided); repeatable")
+    ap.add_argument("--pin", action="append", default=[], metavar="KEY",
+                    help="top-level scalar KEY must equal the baseline's "
+                         "exactly; repeatable")
     ap.add_argument("--f16-eps", type=float, default=0.001,
                     help="legacy codec default when no --eps given")
     ap.add_argument("--int8-eps", type=float, default=0.01,
@@ -87,17 +102,37 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         eps_map[key] = float(val)
-    if not eps_map and "codecs" in measured:
+    if not eps_map and not args.near and "codecs" in measured:
         eps_map = {"f16": args.f16_eps, "int8": args.int8_eps}
+
+    near_map = {}
+    for spec in args.near:
+        key, _, val = spec.partition("=")
+        if not val:
+            print(f"check_recall: bad --near '{spec}' (want KEY=EPS)",
+                  file=sys.stderr)
+            return 2
+        near_map[key] = float(val)
 
     try:
         exact = float(m_entries[args.exact]["recall_at_10"])
         base_exact = float(b_entries[args.exact]["recall_at_10"])
         eps_recalls = {k: float(m_entries[k]["recall_at_10"])
                        for k in eps_map}
+        near_pairs = {k: (float(m_entries[k]["recall_at_10"]),
+                          float(b_entries[k]["recall_at_10"]))
+                      for k in near_map}
     except KeyError as e:
         print(f"check_recall: missing entry {e}", file=sys.stderr)
         return 2
+
+    for key in args.pin:
+        m_val, b_val = measured.get(key), baseline.get(key)
+        verdict = "OK" if m_val == b_val and m_val is not None else "DRIFT"
+        print(f"{key}: {m_val!r} vs baseline {b_val!r} (pin) {verdict}")
+        if verdict != "OK":
+            failures.append(
+                f"pinned '{key}' drifted: {m_val!r} != baseline {b_val!r}")
 
     # Exact entry: pure function of the deterministic simulation — drift
     # means broken determinism.
@@ -120,6 +155,18 @@ def main() -> int:
             failures.append(
                 f"{key} recall dropped {drop:.6f} below {args.exact} "
                 f"(allowed {eps})")
+
+    for key in sorted(near_map):
+        eps = near_map[key]
+        m_val, b_val = near_pairs[key]
+        delta = m_val - b_val
+        verdict = "OK" if abs(delta) <= eps else "REGRESSION"
+        print(f"{key}: recall@10 {m_val:.6f} (baseline {b_val:.6f}, "
+              f"delta {delta:+.6f}, eps {eps}) {verdict}")
+        if abs(delta) > eps:
+            failures.append(
+                f"{key} recall moved {delta:+.6f} from its baseline "
+                f"(allowed ±{eps})")
 
     if failures:
         print("\ncheck_recall: FAILED", file=sys.stderr)

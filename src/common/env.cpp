@@ -52,6 +52,10 @@ RuntimeOptions RuntimeOptions::from_env() {
   opts.serving_out = env_string("ALGAS_SERVING_OUT", "BENCH_serving.json");
   opts.serving_hosts =
       std::max<std::size_t>(1, env_size("ALGAS_SERVING_HOSTS", 1));
+  opts.filtered_out =
+      env_string("ALGAS_FILTERED_OUT", "BENCH_filtered.json");
+  opts.filtered_hosts =
+      std::max<std::size_t>(1, env_size("ALGAS_FILTERED_HOSTS", 1));
   return opts;
 }
 

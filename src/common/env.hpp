@@ -41,6 +41,13 @@
 //                         depend on host thread count.
 //   ALGAS_SERVING_OUT   — bench_serving JSON output path (default
 //                         "BENCH_serving.json").
+//   ALGAS_FILTERED_OUT  — bench_filtered JSON output path (default
+//                         "BENCH_filtered.json").
+//   ALGAS_FILTERED_HOSTS — host worker threads in bench_filtered (default
+//                         1, min 1). The filtered gate runs 1 vs 4 and
+//                         byte-compares the JSON — filtered results and
+//                         the attribute checksum must not depend on host
+//                         thread count.
 //   ALGAS_SERVING_HOSTS — host worker threads in bench_serving (default 1,
 //                         min 1). The serving gate runs 1 vs 4 and diffs
 //                         the arrival-trace checksum plus the underload
@@ -81,6 +88,8 @@ struct RuntimeOptions {
   std::size_t shard_hosts = 1;       ///< ALGAS_SHARD_HOSTS per-shard hosts
   std::string serving_out;           ///< ALGAS_SERVING_OUT JSON path
   std::size_t serving_hosts = 1;     ///< ALGAS_SERVING_HOSTS host threads
+  std::string filtered_out;          ///< ALGAS_FILTERED_OUT JSON path
+  std::size_t filtered_hosts = 1;    ///< ALGAS_FILTERED_HOSTS host threads
 
   static RuntimeOptions from_env();
 };

@@ -436,11 +436,12 @@ void HostWorker::fetch_and_complete(sim::Simulation& sim, std::size_t slot,
       rt.result_buffer.size() * sim::kListEntryBytes, sim::Xfer::kResult);
   // Merge & filter on the host (§IV-B step 4).
   *elapsed += cm.host_topk_merge_ns(run_.plan.n_parallel, run_.cfg.search.topk);
-  // Streaming deletes are consulted here, at the accept step: tombstoned
-  // ids routed the traversal but never surface in the merged TopK.
+  // The accept predicate is consulted here, at the accept step: filtered
+  // and tombstoned ids routed the traversal but never surface in the
+  // merged TopK.
   auto topk = search::merge_sorted_runs(
       rt.result_buffer, run_.plan.n_parallel, run_.run_len,
-      run_.cfg.search.topk, run_.cfg.search.tombstones);
+      run_.cfg.search.topk, run_.cfg.search.accept);
 
   metrics::QueryRecord rec;
   rec.query_index = rt.query_index;
@@ -694,6 +695,16 @@ AlgasEngine::AlgasEngine(const Dataset& ds, const Graph& g, AlgasConfig cfg)
     // none (entry_point() == kInvalidNode). Callers with an empty serving
     // view (core::MutableIndex before the first publish) skip the engine.
     throw std::invalid_argument("AlgasEngine: graph has no nodes to search");
+  }
+  if (!cfg_.search.accept.null()) {
+    // Selectivity-aware widening (filter-during-search): the rarer the
+    // accepted set, the deeper the candidate list, so the accept step
+    // still fills the TopK from survivors. Runs before normalization so
+    // the widened length obeys the same clamps as any other config; the
+    // null-predicate path skips this branch entirely, keeping unfiltered
+    // runs byte-identical to the pre-predicate engine.
+    cfg_.search = search::widen_for_selectivity(
+        cfg_.search, cfg_.search.accept.selectivity(ds.num_base()));
   }
   cfg_.search = search::normalize_config(cfg_.search, g.degree());
   cfg_.host_threads = std::max<std::size_t>(1, cfg_.host_threads);

@@ -329,7 +329,10 @@ EngineReport MutableIndex::serve(AlgasConfig cfg,
                                  std::size_t num_queries) const {
   ReadSection sec(checker_, "serve");
   if (published_ == 0) return EngineReport{};
-  cfg.search.tombstones = &tombstones_;
+  // Conjoin the caller's predicate (an attribute filter, usually) with
+  // this index's tombstones: deleted rows are excluded at the accept step
+  // whatever else the caller filters on.
+  cfg.search.accept = cfg.search.accept.with_tombstones(&tombstones_);
   AlgasEngine engine(ds_, graph_, cfg);
   return engine.run_closed_loop(num_queries);
 }

@@ -106,7 +106,10 @@ class MergeActor final : public sim::Actor {
     if (rec.served()) {
       // Shards that shed/evicted left their run slot empty (KV::empty
       // padding); the merge tolerates that, so one serving shard suffices.
-      rec.results = search::merge_sorted_runs(concat, n_runs, topk_, topk_);
+      // Runs carry global ids and were already filtered per shard — the
+      // merge itself needs no further predicate.
+      rec.results = search::merge_sorted_runs(concat, n_runs, topk_, topk_,
+                                              search::AcceptPredicate{});
     }
     out_.add(std::move(rec));
 
@@ -161,13 +164,24 @@ class MergeActor final : public sim::Actor {
 
 ShardedEngine::ShardedEngine(const Dataset& ds, ShardedConfig cfg)
     : ds_(ds), cfg_(std::move(cfg)), part_(ds.num_base(), cfg_.shards) {
-  if (cfg_.base.search.tombstones != nullptr) {
+  if (cfg_.base.search.accept.has_tombstones()) {
     throw std::invalid_argument(
         "ShardedEngine: tombstones carry global ids and cannot filter "
         "shard-local searches; sharded serving requires an immutable view");
   }
   const std::size_t k = part_.shards();
   selective_ = cfg_.fanout >= 1 && cfg_.fanout < k;
+  if (cfg_.base.search.accept.has_filter()) {
+    // Precompute accepted-row counts per shard: route() consults them to
+    // fall back to full fanout when every affinity-selected shard is
+    // filter-empty.
+    shard_accepted_.resize(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      const auto r = part_.range(s);
+      shard_accepted_[s] =
+          cfg_.base.search.accept.accepted_in_range(r.begin, r.end);
+    }
+  }
 
   shard_ds_.reserve(k);
   graphs_.reserve(k);
@@ -185,9 +199,14 @@ ShardedEngine::ShardedEngine(const Dataset& ds, ShardedConfig cfg)
       // Each shard searches 1/K of the base set, so ~1/K of the candidate
       // depth keeps the merged union's quality; normalize_config re-clamps
       // to a power of two >= topk and >= the graph degree.
-      shard_cfg.search.candidate_len =
-          std::max(cfg_.base.search.topk,
-                   (cfg_.base.search.candidate_len + k - 1) / k);
+      shard_cfg.search.candidate_len = search::scaled_candidate_len(
+          cfg_.base.search.candidate_len, cfg_.base.search.topk, k);
+    }
+    if (shard_cfg.search.accept.has_filter()) {
+      // The filter bitset is indexed by global id; shard s sees local ids,
+      // so give it an offset view at its contiguous range start.
+      shard_cfg.search.accept =
+          cfg_.base.search.accept.with_offset(part_.range(s).begin);
     }
     if (k > 1 && shard_cfg.checker != nullptr) {
       // One checker cannot watch K interleaved runs (per-run reset, single
@@ -230,6 +249,23 @@ std::vector<std::size_t> ShardedEngine::route(std::size_t query_index) const {
   out.reserve(cfg_.fanout);
   for (std::size_t i = 0; i < cfg_.fanout; ++i) out.push_back(aff[i].second);
   std::sort(out.begin(), out.end());
+  if (!shard_accepted_.empty()) {
+    // Filter-aware fallback: centroid affinity is computed on vectors, not
+    // attributes, so a selective route can land exclusively on shards the
+    // filter empties out. If no selected shard holds an accepted row while
+    // some other shard does, scatter to all — a guaranteed-empty answer is
+    // worse than losing the fanout saving for this query.
+    std::size_t selected_accepted = 0;
+    for (const std::size_t s : out) selected_accepted += shard_accepted_[s];
+    if (selected_accepted == 0) {
+      std::size_t total_accepted = 0;
+      for (const std::size_t c : shard_accepted_) total_accepted += c;
+      if (total_accepted > 0) {
+        out.resize(k);
+        for (std::size_t s = 0; s < k; ++s) out[s] = s;
+      }
+    }
+  }
   return out;
 }
 

@@ -44,8 +44,11 @@ struct ShardedConfig {
   /// K > 1 an explicit `base.checker` is replaced by one private checker
   /// per shard: SimCheck::begin_run resets per-run state and a checker's
   /// drain hook is single-slot, so one instance cannot observe K
-  /// concurrent runs. The serving view must be immutable —
-  /// `base.search.tombstones` is rejected on the sharded path.
+  /// concurrent runs. The serving view must be immutable — a
+  /// tombstone-carrying `base.search.accept` is rejected on the sharded
+  /// path. An attribute FILTER is supported: the bitset carries global
+  /// ids, and each shard engine receives an offset view
+  /// (AcceptPredicate::with_offset) sliced at its contiguous id range.
   AlgasConfig base;
   std::size_t shards = 2;
   /// Shards probed per query: 0 (or >= shards) scatters to all; otherwise
@@ -112,7 +115,11 @@ class ShardedEngine {
 
   /// Shards query `query_index` will probe, ascending. Full scatter unless
   /// a selective fanout is configured; deterministic (centroid distances
-  /// tie-break by shard id).
+  /// tie-break by shard id). Under an attribute filter the router falls
+  /// back to full fanout when every selected shard is filter-empty —
+  /// centroid affinity says nothing about where the accepted rows live,
+  /// and probing only filter-empty shards would return nothing while
+  /// accepted candidates exist elsewhere.
   std::vector<std::size_t> route(std::size_t query_index) const;
 
   ShardedReport run_closed_loop(std::size_t num_queries);
@@ -133,6 +140,9 @@ class ShardedEngine {
   /// Per-shard routers; empty unless fanout is selective.
   std::vector<baselines::IvfIndex> routers_;
   bool selective_ = false;
+  /// Accepted-row count per shard under base.search.accept; empty when the
+  /// predicate is null. Backs the filter-empty fanout fallback in route().
+  std::vector<std::size_t> shard_accepted_;
 };
 
 }  // namespace algas::core

@@ -17,6 +17,7 @@ void Dataset::append_base(std::span<const float> rows) {
                                 " floats, dim=" + std::to_string(dim_) + ")");
   }
   clear_ground_truth();  // exact only for the pre-append base set
+  clear_attributes();    // likewise: they describe only the old rows
   const bool had_norms = base_norms_.size() == num_base() && num_base() > 0;
   base_.insert(base_.end(), rows.begin(), rows.end());
   if (codec_ != StorageCodec::kF32) {
@@ -27,6 +28,19 @@ void Dataset::append_base(std::span<const float> rows) {
   // hold exclusive write access, instead of leaving a lazy rebuild for the
   // first concurrent reader to trip over.
   if (had_norms || metric_ == Metric::kCosine) base_norms();
+}
+
+void Dataset::set_attributes(std::vector<std::uint32_t> categories,
+                             std::vector<std::uint32_t> timestamps) {
+  if (categories.size() != num_base() || timestamps.size() != num_base()) {
+    throw std::invalid_argument(
+        "set_attributes: need one (category, timestamp) pair per base row "
+        "(got " + std::to_string(categories.size()) + "/" +
+        std::to_string(timestamps.size()) + " for " +
+        std::to_string(num_base()) + " rows)");
+  }
+  categories_ = std::move(categories);
+  timestamps_ = std::move(timestamps);
 }
 
 void Dataset::warm_caches() const {
@@ -145,6 +159,7 @@ std::string Dataset::describe() const {
   out << name_ << "  n=" << num_base() << " d=" << dim_
       << " metric=" << metric_name(metric_) << " q=" << num_queries();
   if (has_ground_truth()) out << " gt_k=" << gt_k_;
+  if (has_attributes()) out << " attrs";
   if (codec_ != StorageCodec::kF32) {
     out << " storage=" << storage_codec_name(codec_);
   }

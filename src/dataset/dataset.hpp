@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -81,6 +82,25 @@ class Dataset {
   bool has_ground_truth() const { return gt_k_ > 0 && !gt_.empty(); }
   const std::vector<NodeId>& ground_truth_flat() const { return gt_; }
 
+  /// Attach one (category, timestamp) attribute pair per base row — the
+  /// metadata that search::AcceptPredicate bitsets are built from (CLI
+  /// `--filter cat=K` / `--filter ts<T`, bench_filtered's selectivity
+  /// tiers). Both vectors must have exactly num_base() entries. Attributes
+  /// ride alongside the vectors: they never influence distances, graph
+  /// construction, or any cache, so attaching them leaves every pinned
+  /// search result byte-identical.
+  void set_attributes(std::vector<std::uint32_t> categories,
+                      std::vector<std::uint32_t> timestamps);
+  bool has_attributes() const { return !categories_.empty(); }
+  /// Per-row category / timestamp (valid only when has_attributes()).
+  const std::vector<std::uint32_t>& categories() const { return categories_; }
+  const std::vector<std::uint32_t>& timestamps() const { return timestamps_; }
+  /// Drop attributes (e.g. after a compaction remap invalidates row ids).
+  void clear_attributes() {
+    categories_.clear();
+    timestamps_.clear();
+  }
+
   /// Select the base-row storage codec. f32 (the default) keeps today's
   /// flat float rows and the bit-identical scoring path; f16/int8 encode
   /// the rows into the VectorStore and route every distance call through
@@ -141,6 +161,11 @@ class Dataset {
   std::vector<float> queries_;
   std::vector<NodeId> gt_;
   std::size_t gt_k_ = 0;
+  /// Per-base-row attributes; both empty (no attributes) or both num_base()
+  /// long. Dropped by append_base — like ground truth, they describe only
+  /// the pre-append rows.
+  std::vector<std::uint32_t> categories_;
+  std::vector<std::uint32_t> timestamps_;
   StorageCodec codec_ = StorageCodec::kF32;
   /// Lazy norm cache; empty = not built. Only read through base_norms().
   /// Write rights rotate with the insert epoch: lazily built inside const

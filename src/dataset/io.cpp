@@ -53,6 +53,11 @@ void write_xvecs(const std::string& path, const std::vector<T>& data,
 }
 
 constexpr char kMagic[8] = {'A', 'L', 'G', 'A', 'S', 'D', 'S', '1'};
+/// Optional attribute trailer after the ground-truth vec. Attribute-free
+/// datasets write nothing (their files stay byte-identical to the
+/// pre-attribute format), and the loader treats clean EOF here as "no
+/// attributes" — so old cache files keep loading.
+constexpr char kAttrMagic[8] = {'A', 'L', 'G', 'A', 'S', 'A', 'T', '1'};
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& v) {
@@ -120,6 +125,11 @@ void save_dataset(const Dataset& ds, const std::string& path) {
   write_vec(out, ds.base());
   write_vec(out, ds.queries());
   write_vec(out, ds.ground_truth_flat());
+  if (ds.has_attributes()) {
+    out.write(kAttrMagic, sizeof(kAttrMagic));
+    write_vec(out, ds.categories());
+    write_vec(out, ds.timestamps());
+  }
   if (!out) throw std::runtime_error("short write to " + path);
 }
 
@@ -149,6 +159,18 @@ Dataset load_dataset(const std::string& path) {
   ds.mutable_queries() = read_vec<float>(in);
   auto gt = read_vec<NodeId>(in);
   if (gt_k > 0) ds.set_ground_truth(std::move(gt), gt_k);
+  char attr_magic[8];
+  if (in.read(attr_magic, sizeof(attr_magic))) {
+    if (std::memcmp(attr_magic, kAttrMagic, sizeof(kAttrMagic)) != 0) {
+      throw std::runtime_error("unknown trailer in dataset file: " + path);
+    }
+    auto cats = read_vec<std::uint32_t>(in);
+    auto ts = read_vec<std::uint32_t>(in);
+    ds.set_attributes(std::move(cats), std::move(ts));
+  } else if (in.gcount() != 0) {
+    // A partial 1-7 byte read is corruption, not an absent trailer.
+    throw std::runtime_error("truncated trailer in dataset file: " + path);
+  }
   return ds;
 }
 

@@ -1,5 +1,6 @@
 #include "dataset/synthetic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -90,7 +91,29 @@ Dataset make_synthetic(const SyntheticSpec& spec) {
       normalize({queries.data() + i * spec.dim, spec.dim});
     }
   }
+  // Attributes last, from their own stateless hash stream: the sequential
+  // rng above must see exactly the draws it always has, or every pinned
+  // vector (and with them all recall baselines) would change.
+  attach_synthetic_attributes(ds);
   return ds;
+}
+
+void attach_synthetic_attributes(Dataset& ds, const AttributeSpec& spec) {
+  const std::size_t n = ds.num_base();
+  std::vector<std::uint32_t> cats(n), ts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Two independent lanes off one (seed, id) hash chain; the salts keep
+    // category and timestamp decorrelated.
+    const std::uint64_t h = splitmix64(spec.seed ^ (0x9e3779b97f4a7c15ULL +
+                                                    static_cast<std::uint64_t>(i)));
+    cats[i] = static_cast<std::uint32_t>(
+        splitmix64(h ^ 0xC47E60121ULL) %
+        static_cast<std::uint64_t>(std::max<std::size_t>(spec.categories, 1)));
+    ts[i] = static_cast<std::uint32_t>(
+        splitmix64(h ^ 0x7157A3BULL) %
+        static_cast<std::uint64_t>(std::max<std::uint32_t>(spec.timestamp_range, 1)));
+  }
+  ds.set_attributes(std::move(cats), std::move(ts));
 }
 
 SyntheticSpec sift_like_spec() {

@@ -40,8 +40,26 @@ struct SyntheticSpec {
   std::uint64_t seed = 42;
 };
 
-/// Generate base + query vectors per `spec`. Ground truth is NOT computed
-/// here (see ground_truth.hpp) so callers can cache it separately.
+/// Per-row filter attributes for the filtered-search path: a category label
+/// (uniform over `categories` values) and a timestamp (uniform over
+/// [0, timestamp_range)). Thresholding timestamps gives any selectivity
+/// tier ("rows newer than T"); equality on categories gives ~1/categories.
+struct AttributeSpec {
+  std::size_t categories = 16;
+  std::uint32_t timestamp_range = 1u << 20;
+  std::uint64_t seed = 0xA77;
+};
+
+/// Attach synthetic (category, timestamp) attributes to every base row.
+/// Deliberately STATELESS per row — splitmix64 of (seed, row id), never the
+/// sequential generator stream — so attaching attributes cannot perturb
+/// the vectors (all pinned baselines stay valid) and row i's attributes
+/// are the same whether generated for 10k or 100k rows.
+void attach_synthetic_attributes(Dataset& ds, const AttributeSpec& spec = {});
+
+/// Generate base + query vectors per `spec`, with synthetic attributes
+/// attached (default AttributeSpec). Ground truth is NOT computed here
+/// (see ground_truth.hpp) so callers can cache it separately.
 Dataset make_synthetic(const SyntheticSpec& spec);
 
 /// Table III stand-ins at unit scale (see registry.hpp for scaled sizes).

@@ -45,6 +45,26 @@ double recall_at_k_ids(const Dataset& ds, std::size_t query_index,
   return recall_impl(ds, query_index, ids, k);
 }
 
+double recall_against(std::span<const NodeId> truth,
+                      std::span<const KV> results, std::size_t k) {
+  if (truth.size() > k) truth = truth.subspan(0, k);
+  std::size_t denom = 0;
+  for (const NodeId t : truth) {
+    if (t != kInvalidNode) ++denom;
+  }
+  if (denom == 0) return 1.0;
+  std::size_t hits = 0;
+  std::size_t taken = 0;
+  for (const KV& kv : results) {
+    if (kv.is_empty() || taken == k) break;
+    ++taken;
+    if (std::find(truth.begin(), truth.end(), kv.id()) != truth.end()) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(denom);
+}
+
 double mean_recall(const Dataset& ds,
                    const std::vector<std::vector<KV>>& results,
                    std::size_t k) {

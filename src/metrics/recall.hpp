@@ -23,4 +23,13 @@ double mean_recall(const Dataset& ds,
                    const std::vector<std::vector<KV>>& results,
                    std::size_t k);
 
+/// Recall against an explicit truth row (e.g. one row of
+/// compute_filtered_ground_truth) instead of the dataset's attached ground
+/// truth. kInvalidNode padding in `truth` is ignored: when the predicate
+/// accepts fewer than k rows, the denominator is the accepted count, so a
+/// search that returns every acceptable row scores 1.0. An all-padding
+/// truth row scores 1.0 (nothing to find).
+double recall_against(std::span<const NodeId> truth,
+                      std::span<const KV> results, std::size_t k);
+
 }  // namespace algas::metrics

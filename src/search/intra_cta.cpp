@@ -6,21 +6,6 @@
 
 namespace algas::search {
 
-SearchConfig normalize_config(SearchConfig cfg, std::size_t degree) {
-  cfg.candidate_len = next_pow2(std::max(cfg.candidate_len, cfg.topk));
-  // Even a greedy round can produce up to `degree` new points; L must be
-  // able to absorb one expand list.
-  cfg.candidate_len = std::max(cfg.candidate_len, next_pow2(degree));
-  cfg.beam_width = std::max<std::size_t>(cfg.beam_width, 1);
-  // The expand list (beam * degree, rounded to 2^k) must fit inside L so a
-  // single 2L bitonic merge maintains the list.
-  while (cfg.beam_width > 1 &&
-         next_pow2(cfg.beam_width * degree) > cfg.candidate_len) {
-    --cfg.beam_width;
-  }
-  return cfg;
-}
-
 IntraCtaSearch::IntraCtaSearch(const Dataset& ds, const Graph& g,
                                const sim::CostModel& cm,
                                const SearchConfig& cfg)
@@ -149,18 +134,15 @@ bool IntraCtaSearch::step(StepCost& cost) {
 }
 
 std::vector<KV> IntraCtaSearch::results() const {
-  if (cfg_.tombstones == nullptr) return list_.topk(cfg_.topk);
+  if (cfg_.accept.null()) return list_.topk(cfg_.topk);
   // Same walk as CandidateList::topk (entries ascending, empties at the
-  // tail terminate), with tombstoned ids skipped at the accept step.
+  // tail terminate), with predicate-rejected ids skipped at the accept
+  // step.
   std::vector<KV> out;
   out.reserve(std::min(cfg_.topk, list_.capacity()));
   for (const KV& e : list_.entries()) {
     if (e.is_empty() || out.size() == cfg_.topk) break;
-    const NodeId id = e.id();
-    if (static_cast<std::size_t>(id) < cfg_.tombstones->size() &&
-        cfg_.tombstones->contains(id)) {
-      continue;
-    }
+    if (!cfg_.accept.accepts(e.id())) continue;
     out.push_back(e);
   }
   return out;

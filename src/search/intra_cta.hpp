@@ -22,8 +22,9 @@
 
 #include "dataset/dataset.hpp"
 #include "graph/graph.hpp"
-#include "graph/tombstones.hpp"
+#include "search/accept.hpp"
 #include "search/candidate_list.hpp"
+#include "search/search_params.hpp"
 #include "search/visited.hpp"
 #include "simgpu/cost_model.hpp"
 #include "simgpu/shared_memory.hpp"
@@ -45,12 +46,14 @@ struct SearchConfig {
   /// instead of the fused sort-expand + bitonic-merge. Functionally
   /// identical, costlier — models GANNS's heavier data-structure upkeep.
   bool full_sort_maintenance = false;
-  /// Streaming deletes (not owned; may be null). Tombstoned nodes still
-  /// ROUTE — they stay in the candidate list and are expanded like any
-  /// other node, keeping the graph navigable — but the accept step
-  /// (results() / merge_sorted_runs) excludes them from the TopK. Null
-  /// leaves every accept path byte-identical to the tombstone-free build.
-  const TombstoneSet* tombstones = nullptr;
+  /// Accept-step predicate: attribute filters, streaming-delete
+  /// tombstones, and their conjunction behind one O(1) view
+  /// (search/accept.hpp). Rejected nodes still ROUTE — they stay in the
+  /// candidate list and are expanded like any other node, keeping the
+  /// graph navigable — but the accept step (results() /
+  /// merge_sorted_runs) excludes them from the TopK. The null predicate
+  /// leaves every accept path byte-identical to the unfiltered build.
+  AcceptPredicate accept;
 };
 
 /// Virtual-time cost of one maintenance round, split by activity so benches
@@ -102,9 +105,9 @@ class IntraCtaSearch {
   /// Sorted candidate list (valid after any number of steps).
   std::span<const KV> candidates() const { return list_.entries(); }
 
-  /// Best `topk` ids found (ascending by distance). Tombstoned nodes are
-  /// excluded here — the accept step — while remaining visible to the
-  /// traversal itself.
+  /// Best `topk` ids found (ascending by distance). Predicate-rejected
+  /// nodes (filtered or tombstoned) are excluded here — the accept step —
+  /// while remaining visible to the traversal itself.
   std::vector<KV> results() const;
 
   const SearchStats& stats() const { return stats_; }
@@ -136,8 +139,5 @@ class IntraCtaSearch {
   SearchStats stats_;
 };
 
-/// Clamp/derive a valid config: candidate_len to a power of two >= topk,
-/// beam_width so the expand list (beam * degree, padded to 2^k) fits in L.
-SearchConfig normalize_config(SearchConfig cfg, std::size_t degree);
-
 }  // namespace algas::search
+

@@ -75,7 +75,7 @@ MultiCtaResult multi_cta_search(const Dataset& ds, const Graph& g,
     res.rounds_max = std::max(res.rounds_max, st.rounds);
   }
   res.topk =
-      merge_sorted_runs(concat, ctas.size(), run_len, cfg.topk, cfg.tombstones);
+      merge_sorted_runs(concat, ctas.size(), run_len, cfg.topk, cfg.accept);
   return res;
 }
 

@@ -1,0 +1,51 @@
+#include "search/search_params.hpp"
+
+#include <algorithm>
+
+#include "search/intra_cta.hpp"
+
+namespace algas::search {
+
+SearchConfig normalize_config(SearchConfig cfg, std::size_t degree) {
+  cfg.candidate_len = next_pow2(std::max(cfg.candidate_len, cfg.topk));
+  // Even a greedy round can produce up to `degree` new points; L must be
+  // able to absorb one expand list.
+  cfg.candidate_len = std::max(cfg.candidate_len, next_pow2(degree));
+  cfg.beam_width = std::max<std::size_t>(cfg.beam_width, 1);
+  // The expand list (beam * degree, rounded to 2^k) must fit inside L so a
+  // single 2L bitonic merge maintains the list.
+  while (cfg.beam_width > 1 &&
+         next_pow2(cfg.beam_width * degree) > cfg.candidate_len) {
+    --cfg.beam_width;
+  }
+  return cfg;
+}
+
+std::size_t scaled_candidate_len(std::size_t candidate_len, std::size_t topk,
+                                 std::size_t parts) {
+  if (parts <= 1) return candidate_len;
+  // Each partition holds ~1/parts of the base set, so ~1/parts of the
+  // depth preserves the quality of the merged union while cutting
+  // per-partition search work ~parts-fold.
+  return std::max(topk, (candidate_len + parts - 1) / parts);
+}
+
+SearchConfig widen_for_selectivity(SearchConfig cfg, double selectivity,
+                                   std::size_t max_factor) {
+  max_factor = std::max<std::size_t>(max_factor, 1);
+  if (selectivity >= 1.0 || max_factor == 1) return cfg;
+  std::size_t factor = max_factor;
+  if (selectivity > 0.0) {
+    // ~1/selectivity survivors-per-slot scaling, truncated then rounded
+    // up to a power of two: a 30% filter widens 4x (1/0.3 -> 3 -> 4)
+    // while a lightly-tombstoned view (selectivity 0.9) stays at 1x —
+    // widening must not double the search work over a handful of
+    // deletes. Capped at max_factor.
+    const auto inv = static_cast<std::size_t>(1.0 / selectivity);
+    factor = std::min(max_factor, next_pow2(std::max<std::size_t>(inv, 1)));
+  }
+  cfg.candidate_len *= factor;
+  return cfg;
+}
+
+}  // namespace algas::search

@@ -1,0 +1,45 @@
+// Shared clamp/derive logic for SearchConfig — the one place candidate-list
+// and beam-width invariants live, so the engine, the CLI, the sharded
+// depth scaling, and selectivity-aware widening cannot silently diverge.
+//
+// The invariants (enforced by normalize_config, in this order):
+//   * candidate_len is a power of two, >= topk, and >= next_pow2(degree)
+//     (even a greedy round must absorb one full expand list);
+//   * beam_width >= 1, reduced until the expand list (beam * degree,
+//     padded to 2^k) fits inside candidate_len so a single 2L bitonic
+//     merge maintains the list.
+#pragma once
+
+#include <cstddef>
+
+namespace algas::search {
+
+struct SearchConfig;
+
+/// Clamp/derive a valid config: candidate_len to a power of two >= topk,
+/// beam_width so the expand list (beam * degree, padded to 2^k) fits in L.
+SearchConfig normalize_config(SearchConfig cfg, std::size_t degree);
+
+/// Candidate depth for one of `parts` partitions of the base set, floored
+/// at topk (the sharded engine's 1/K scaling; normalize_config re-clamps
+/// to a power of two afterwards). parts == 0 or 1 leaves the depth alone.
+std::size_t scaled_candidate_len(std::size_t candidate_len, std::size_t topk,
+                                 std::size_t parts);
+
+/// Selectivity-aware widening (filter-during-search): scale candidate_len
+/// by ~1/selectivity (truncated, then rounded up to a power of two),
+/// capped at `max_factor`, so a search that must discard most candidates
+/// at the accept step still gathers enough survivors to fill the TopK —
+/// without widening at all while more than half the set is accepted (a
+/// lightly-tombstoned serving view stays at 1x). The widened list is
+/// charged by the existing cost model automatically — select_ns and the
+/// bitonic network are functions of the list length. A selectivity >= 1
+/// (or a null predicate upstream) returns the config unchanged,
+/// preserving the byte-identity of unfiltered runs; selectivity <= 0
+/// (nothing acceptable) applies the full cap — the search returns empty
+/// regardless, and the cap bounds the wasted work. normalize_config still
+/// runs afterwards.
+SearchConfig widen_for_selectivity(SearchConfig cfg, double selectivity,
+                                   std::size_t max_factor = 8);
+
+}  // namespace algas::search

@@ -8,7 +8,8 @@ namespace algas::search {
 
 std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
                                   std::size_t runs, std::size_t run_len,
-                                  std::size_t k, const TombstoneSet* exclude) {
+                                  std::size_t k,
+                                  const AcceptPredicate& accept) {
   assert(concat.size() >= runs * run_len);
 
   // (entry, run, offset) min-heap over run heads — the host's priority
@@ -43,10 +44,7 @@ std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
     Head h = heap.top();
     heap.pop();
     const NodeId id = h.kv.id();
-    const bool tombstoned = exclude != nullptr &&
-                            static_cast<std::size_t>(id) < exclude->size() &&
-                            exclude->contains(id);
-    if (!tombstoned && seen.insert(id).second) {
+    if (accept.accepts(id) && seen.insert(id).second) {
       // Strip the checked flag: merged results are plain (dist, id).
       out.push_back(KV::make(h.kv.dist, id));
     }

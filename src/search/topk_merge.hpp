@@ -13,17 +13,19 @@
 #include <span>
 #include <vector>
 
-#include "graph/tombstones.hpp"
+#include "search/accept.hpp"
 #include "search/kv.hpp"
 
 namespace algas::search {
 
 /// Merge `runs` ascending-sorted runs of length `run_len`, laid out
 /// back-to-back in `concat`, into the k best unique-id entries (ascending).
-/// Empty entries terminate a run. `exclude` (may be null) is the streaming
-/// tombstone set: excluded ids are dropped at this accept step without
-/// consuming one of the k slots — deleted nodes route traversals but never
-/// surface in results.
+/// Empty entries terminate a run. `accept` is the accept-step predicate
+/// (attribute filter, tombstones, or both; pass AcceptPredicate{} for the
+/// unfiltered merge): rejected ids are dropped here without consuming one
+/// of the k slots — filtered and deleted nodes route traversals but never
+/// surface in results. Every call site states its predicate explicitly;
+/// there is deliberately no defaulted parameter to fall through.
 ///
 /// Tie-breaking is deterministic and fully specified: output order is
 /// ascending (distance, id), and equal-distance entries therefore resolve
@@ -36,6 +38,6 @@ namespace algas::search {
 std::vector<KV> merge_sorted_runs(std::span<const KV> concat,
                                   std::size_t runs, std::size_t run_len,
                                   std::size_t k,
-                                  const TombstoneSet* exclude = nullptr);
+                                  const AcceptPredicate& accept);
 
 }  // namespace algas::search

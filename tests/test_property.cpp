@@ -76,7 +76,8 @@ TEST_P(TopkMergeProperty, MatchesFlatSortWithDedup) {
     concat.insert(concat.end(), run.begin(), run.end());
   }
   const std::size_t k = 1 + rng.next_below(12);
-  const auto merged = search::merge_sorted_runs(concat, runs, len, k);
+  const auto merged = search::merge_sorted_runs(concat, runs, len, k,
+                                                search::AcceptPredicate{});
 
   // Reference: flat sort + first-occurrence dedup.
   auto flat = concat;

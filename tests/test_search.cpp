@@ -399,7 +399,7 @@ TEST(IntraCta, TombstonesFilterResultsNotRouting) {
     dead.mark(plain[0].id());
     dead.mark(plain[1].id());
     SearchConfig filtered = cfg;
-    filtered.tombstones = &dead;
+    filtered.accept = AcceptPredicate::deleted_only(&dead);
     const auto [masked, masked_expanded] = run(filtered, q);
 
     // Routing is untouched: the traversal expanded the same points, and
@@ -430,7 +430,7 @@ TEST(TopkMerge, MergesAndDedups) {
       KV::make(1.0f, 10), KV::make(3.0f, 30), KV::empty(),
       // run 1 (30 duplicated)
       KV::make(2.0f, 20), KV::make(3.0f, 30), KV::make(4.0f, 40)};
-  const auto merged = merge_sorted_runs(concat, 2, 3, 4);
+  const auto merged = merge_sorted_runs(concat, 2, 3, 4, AcceptPredicate{});
   ASSERT_EQ(merged.size(), 4u);
   EXPECT_EQ(merged[0].id(), 10u);
   EXPECT_EQ(merged[1].id(), 20u);
@@ -441,7 +441,7 @@ TEST(TopkMerge, MergesAndDedups) {
 TEST(TopkMerge, StripsCheckedFlags) {
   std::vector<KV> concat{KV::make(1.0f, 10)};
   concat[0].mark_checked();
-  const auto merged = merge_sorted_runs(concat, 1, 1, 1);
+  const auto merged = merge_sorted_runs(concat, 1, 1, 1, AcceptPredicate{});
   ASSERT_EQ(merged.size(), 1u);
   EXPECT_FALSE(merged[0].checked());
   EXPECT_EQ(merged[0].id(), 10u);
@@ -449,7 +449,7 @@ TEST(TopkMerge, StripsCheckedFlags) {
 
 TEST(TopkMerge, EmptyRunsAreFine) {
   std::vector<KV> concat(6, KV::empty());
-  EXPECT_TRUE(merge_sorted_runs(concat, 2, 3, 4).empty());
+  EXPECT_TRUE(merge_sorted_runs(concat, 2, 3, 4, AcceptPredicate{}).empty());
 }
 
 TEST(TopkMerge, EqualDistancesBreakTiesByGlobalId) {
@@ -464,7 +464,7 @@ TEST(TopkMerge, EqualDistancesBreakTiesByGlobalId) {
       KV::make(1.0f, 40), KV::make(2.0f, 10), KV::make(3.0f, 20),
       // run 2
       KV::make(1.0f, 45), KV::make(2.0f, 60), KV::empty()};
-  const auto merged = merge_sorted_runs(concat, 3, 3, 8);
+  const auto merged = merge_sorted_runs(concat, 3, 3, 8, AcceptPredicate{});
   ASSERT_EQ(merged.size(), 8u);
   const std::vector<NodeId> want{40, 45, 50, 10, 60, 90, 91, 20};
   for (std::size_t i = 0; i < want.size(); ++i) {
@@ -485,7 +485,7 @@ TEST(TopkMerge, FullyEqualHeadsDedupDeterministically) {
   std::vector<KV> concat{
       KV::make(1.5f, 7), KV::make(2.5f, 8),
       KV::make(1.5f, 7), KV::make(1.5f, 9)};
-  const auto merged = merge_sorted_runs(concat, 2, 2, 4);
+  const auto merged = merge_sorted_runs(concat, 2, 2, 4, AcceptPredicate{});
   ASSERT_EQ(merged.size(), 3u);
   EXPECT_EQ(merged[0].id(), 7u);
   EXPECT_EQ(merged[1].id(), 9u);
@@ -499,18 +499,20 @@ TEST(TopkMerge, TombstonedIdsAreSkippedWithoutBurningSlots) {
   TombstoneSet dead(64);
   dead.mark(20);
   dead.mark(40);
-  const auto merged = merge_sorted_runs(concat, 2, 3, 3, &dead);
+  const auto merged =
+      merge_sorted_runs(concat, 2, 3, 3, AcceptPredicate::deleted_only(&dead));
   ASSERT_EQ(merged.size(), 3u);  // deleted ids did not consume k slots
   EXPECT_EQ(merged[0].id(), 10u);
   EXPECT_EQ(merged[1].id(), 30u);
   EXPECT_EQ(merged[2].id(), 50u);
-  // A null set keeps the exact legacy behavior.
-  const auto plain = merge_sorted_runs(concat, 2, 3, 3, nullptr);
+  // A null predicate keeps the exact legacy behavior.
+  const auto plain = merge_sorted_runs(concat, 2, 3, 3, AcceptPredicate{});
   EXPECT_EQ(plain[1].id(), 20u);
   // Ids past the set's size (e.g. rows published after the set was sized)
   // are never treated as deleted.
   TombstoneSet tiny(15);
-  const auto unscreened = merge_sorted_runs(concat, 2, 3, 3, &tiny);
+  const auto unscreened =
+      merge_sorted_runs(concat, 2, 3, 3, AcceptPredicate::deleted_only(&tiny));
   EXPECT_EQ(unscreened[1].id(), 20u);
 }
 
@@ -522,7 +524,8 @@ TEST(TopkMerge, MatchesStdSortReference) {
     std::sort(run.begin(), run.end());
     concat.insert(concat.end(), run.begin(), run.end());
   }
-  const auto merged = merge_sorted_runs(concat, runs, len, 10);
+  const auto merged = merge_sorted_runs(concat, runs, len, 10,
+                                        AcceptPredicate{});
   auto reference = concat;
   std::sort(reference.begin(), reference.end());
   // No duplicate ids in random data (1M id space) with high probability.

@@ -22,6 +22,11 @@
 //                    per-shard graphs are built from --degree/--ef/--threads,
 //                    so --graph is not needed) [--fanout F] (probe only the
 //                    F closest shards; 0 = all) [--router-centroids 8]
+//                    [--filter cat=K | ts<T]  (serve only rows whose
+//                    category equals K / timestamp is below T; needs a
+//                    dataset with attributes. The engine filters DURING
+//                    traversal with a selectivity-widened candidate list
+//                    and reports recall against filtered ground truth.)
 //   algas_cli insert --dataset ds.abin --rows new.fvecs
 //                    [--index idx.amx | --graph graph.agr]  (start point;
 //                    neither = bootstrap from an empty dataset)
@@ -38,6 +43,7 @@
 //                    [--shards 1] [--topk 16] [--list 128] [--slots 16]
 //                    [--nparallel 4] [--beam 4] [--hosts 1]
 //                    [--degree 32] [--ef 64] [--threads N]
+//                    [--filter cat=K | ts<T]  (as in search)
 //                    (open-loop run: queries arrive on the generated
 //                    schedule; --capacity bounds the host queue and
 //                    --deadline-us sheds/evicts late queries. Per-shard
@@ -50,6 +56,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -147,6 +154,66 @@ core::HostSync parse_sync(const std::string& s) {
   if (s == "naive") return core::HostSync::kPollNaive;
   if (s == "blocking") return core::HostSync::kBlocking;
   throw std::invalid_argument("unknown sync mode: " + s);
+}
+
+/// Build the --filter bitset over base rows: "cat=K" (category equality)
+/// or "ts<T" (timestamp strictly below T). Returns nullptr when no filter
+/// was requested. The bitset must outlive any engine configured with it —
+/// callers keep the unique_ptr alive across the run.
+std::unique_ptr<search::NodeBitset> parse_filter(const Dataset& ds,
+                                                 const Args& args) {
+  const std::string spec = args.get_or("filter", "");
+  if (spec.empty()) return nullptr;
+  if (!ds.has_attributes()) {
+    throw std::invalid_argument(
+        "--filter needs a dataset with attributes; regenerate it with "
+        "`algas_cli gen` (synthetic datasets attach them automatically)");
+  }
+  auto bits = std::make_unique<search::NodeBitset>(ds.num_base());
+  if (spec.rfind("cat=", 0) == 0) {
+    const auto want = static_cast<std::uint32_t>(
+        std::strtoul(spec.c_str() + 4, nullptr, 10));
+    const auto& cats = ds.categories();
+    for (std::size_t i = 0; i < cats.size(); ++i) {
+      if (cats[i] == want) bits->set(static_cast<NodeId>(i));
+    }
+  } else if (spec.rfind("ts<", 0) == 0) {
+    const auto limit = static_cast<std::uint32_t>(
+        std::strtoul(spec.c_str() + 3, nullptr, 10));
+    const auto& ts = ds.timestamps();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i] < limit) bits->set(static_cast<NodeId>(i));
+    }
+  } else {
+    throw std::invalid_argument("bad --filter (want cat=K or ts<T): " + spec);
+  }
+  return bits;
+}
+
+/// Score served results against predicate-restricted exact ground truth
+/// (computed on the fly — the attached unfiltered gt does not apply under
+/// a filter) and print the filtered-recall line.
+void print_filtered_recall(const Dataset& ds,
+                           const search::AcceptPredicate& accept,
+                           const metrics::Collector& col, std::size_t topk) {
+  const std::size_t accepted =
+      accept.accepted_in_range(0, static_cast<NodeId>(ds.num_base()));
+  const auto gt = compute_filtered_ground_truth(ds, topk, accept);
+  double total = 0.0;
+  std::size_t served = 0;
+  for (const auto& r : col.records()) {
+    if (!r.served()) continue;
+    ++served;
+    total += metrics::recall_against(
+        {gt.data() + r.query_index * topk, topk}, r.results, topk);
+  }
+  std::printf("filter: %zu/%zu rows accepted (%.2f%%) | filtered recall@%zu "
+              "%.4f over %zu served\n",
+              accepted, ds.num_base(),
+              100.0 * static_cast<double>(accepted) /
+                  static_cast<double>(std::max<std::size_t>(ds.num_base(), 1)),
+              topk, served == 0 ? 0.0 : total / static_cast<double>(served),
+              served);
 }
 
 int cmd_gen(const Args& args) {
@@ -318,7 +385,13 @@ int cmd_delete(const Args& args) {
                 rep.dropped, rep.survivors, rep.patched);
   }
 
-  const std::string out_index = args.get_or("out-index", args.get("index"));
+  // get_or, not get: a graph-opened delete has no --index to fall back on,
+  // and C++ would evaluate (and throw from) the fallback eagerly.
+  const std::string out_index =
+      args.get_or("out-index", args.get_or("index", ""));
+  if (out_index.empty()) {
+    throw std::invalid_argument("delete needs --out-index (or --index)");
+  }
   idx.save(out_index);
   std::printf("wrote %s (epoch %llu)\n", out_index.c_str(),
               static_cast<unsigned long long>(idx.epoch()));
@@ -350,6 +423,16 @@ int cmd_search(const Args& args) {
   sim::Tracer tracer;
   sim::Tracer* const trace = trace_path.empty() ? nullptr : &tracer;
 
+  // --filter: attribute predicate applied during traversal. The bitset
+  // lives here so it outlives whichever engine the run wires it into.
+  const auto filter = parse_filter(ds, args);
+  const search::AcceptPredicate accept{filter.get()};
+  if (filter != nullptr && engine != "algas") {
+    throw std::invalid_argument(
+        "--filter is traversal-integrated and only serves the algas engine "
+        "(the ivf post-filter baseline lives in bench_filtered)");
+  }
+
   if (engine == "ivf") {
     if (trace) {
       std::printf("note: the ivf baseline is untraced; --trace ignored\n");
@@ -376,6 +459,7 @@ int cmd_search(const Args& args) {
     cfg.search.topk = topk;
     cfg.search.candidate_len = list;
     cfg.search.beam_width = args.get_size("beam", 4);
+    cfg.search.accept = accept;
     cfg.slots = slots;
     cfg.n_parallel = args.get_size("nparallel", 0);
     cfg.host_threads = args.get_size("hosts", 1);
@@ -384,7 +468,15 @@ int cmd_search(const Args& args) {
     std::printf("index: epoch %llu | %zu live of %zu published\n",
                 static_cast<unsigned long long>(idx.epoch()), idx.live(),
                 idx.published());
-    print_report("algas", idx.serve(cfg, queries));
+    const core::EngineReport rep = idx.serve(cfg, queries);
+    print_report("algas", rep);
+    if (filter != nullptr) {
+      // Truth must honor the tombstones serve() conjoined in, or deleted
+      // rows would count as misses.
+      print_filtered_recall(idx.dataset(),
+                            accept.with_tombstones(&idx.tombstones()),
+                            rep.collector, topk);
+    }
     if (trace) {
       trace->save(trace_path);
       std::printf("wrote trace %s (%llu events)\n", trace_path.c_str(),
@@ -405,6 +497,7 @@ int cmd_search(const Args& args) {
     scfg.base.search.topk = topk;
     scfg.base.search.candidate_len = list;
     scfg.base.search.beam_width = args.get_size("beam", 4);
+    scfg.base.search.accept = accept;
     scfg.base.slots = slots;
     scfg.base.n_parallel = args.get_size("nparallel", 0);
     scfg.base.host_threads = args.get_size("hosts", 1);
@@ -422,6 +515,9 @@ int cmd_search(const Args& args) {
     }
     const core::ShardedReport rep = e.run_closed_loop(queries);
     print_report("algas-sharded", rep.merged);
+    if (filter != nullptr) {
+      print_filtered_recall(ds, accept, rep.merged.collector, topk);
+    }
     std::printf("scatter-gather: mean fanout %.2f | %zu merges "
                 "(%.1fus busy) | host bus %llu txns, %llu bytes, %.1f%% "
                 "busy\n",
@@ -443,6 +539,7 @@ int cmd_search(const Args& args) {
     cfg.search.topk = topk;
     cfg.search.candidate_len = list;
     cfg.search.beam_width = args.get_size("beam", 4);
+    cfg.search.accept = accept;
     cfg.slots = slots;
     cfg.n_parallel = args.get_size("nparallel", 0);
     cfg.host_threads = args.get_size("hosts", 1);
@@ -450,7 +547,11 @@ int cmd_search(const Args& args) {
     cfg.tracer = trace;
     core::AlgasEngine e(ds, g, cfg);
     std::printf("plan: %s\n", e.plan().describe().c_str());
-    print_report("algas", e.run_closed_loop(queries));
+    const core::EngineReport rep = e.run_closed_loop(queries);
+    print_report("algas", rep);
+    if (filter != nullptr) {
+      print_filtered_recall(ds, accept, rep.collector, topk);
+    }
   } else if (engine == "cagra") {
     baselines::StaticConfig cfg;
     cfg.search.topk = topk;
@@ -498,10 +599,14 @@ int cmd_serve(const Args& args) {
   cfg.high_priority_fraction = args.get_double("high-priority", 0.0);
   cfg.num_queries = args.get_size("queries", 0);
 
+  const auto filter = parse_filter(ds, args);
+  const search::AcceptPredicate accept{filter.get()};
+
   core::AlgasConfig& base = cfg.sharded.base;
   base.search.topk = args.get_size("topk", 16);
   base.search.candidate_len = args.get_size("list", 128);
   base.search.beam_width = args.get_size("beam", 4);
+  base.search.accept = accept;
   base.slots = args.get_size("slots", 16);
   base.n_parallel = args.get_size("nparallel", 0);
   base.host_threads = args.get_size("hosts", 1);
@@ -536,6 +641,10 @@ int cmd_serve(const Args& args) {
               rep.offered_qps, deadline_buf, queue_buf,
               core::shed_policy_name(base.admission.policy));
   print_report("serve", rep.sharded.merged);
+  if (filter != nullptr) {
+    print_filtered_recall(ds, accept, rep.sharded.merged.collector,
+                          base.search.topk);
+  }
   std::printf("serving: goodput %.0f qps | shed %.1f%% (%zu queue, %zu "
               "deadline, %zu evicted) | deadline miss %.1f%% | latency "
               "p99 %.1fus p999 %.1fus\n",

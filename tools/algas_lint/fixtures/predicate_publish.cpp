@@ -1,0 +1,24 @@
+// expect-lint: ownership
+// Seeded violation: an accept predicate re-targeted after it was published
+// into a search config. AcceptPredicate's components (filter, tombstones,
+// offset) are ALGAS_IMMUTABLE_AFTER_PUBLISH — build the predicate as a
+// function-local value and never mutate it once an engine holds it, or a
+// running traversal would see the accept set change mid-query.
+#define ALGAS_IMMUTABLE_AFTER_PUBLISH
+
+struct NodeBitset;
+
+struct AcceptPredicate {
+  const NodeBitset* filter_ ALGAS_IMMUTABLE_AFTER_PUBLISH = nullptr;
+  unsigned long offset_ ALGAS_IMMUTABLE_AFTER_PUBLISH = 0;
+};
+
+struct SearchConfig {
+  AcceptPredicate accept;
+};
+
+struct Engine {
+  SearchConfig cfg_;
+  // Swapping the filter on a live engine mutates published accept state.
+  void refilter(const NodeBitset* next) { cfg_.accept.filter_ = next; }
+};
